@@ -1,0 +1,70 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_alpha_ablation(benchmark):
+    rows = benchmark(ablation.alpha_ablation)
+    print("\nAlpha ablation (ExPress/ImPress-N provisioning):")
+    for row in rows:
+        print(f"  alpha={row['alpha']:.2f}  T*/TRH={row['relative_threshold']:.3f}  "
+              f"entries={row['graphene_entries']}  "
+              f"KiB={row['graphene_kib']:.0f}")
+    # Larger alpha = safer cover but lower T* and more entries.
+    thresholds = [row["relative_threshold"] for row in rows]
+    entries = [row["graphene_entries"] for row in rows]
+    assert thresholds == sorted(thresholds, reverse=True)
+    assert entries == sorted(entries)
+
+
+def test_rfmth_ablation(benchmark):
+    rows = benchmark(ablation.rfmth_ablation)
+    print("\nRFMTH ablation (in-DRAM trackers):")
+    for row in rows:
+        print(f"  rfmth={row['rfmth']}  mithril entries={row['mithril_entries']}"
+              f"  MINT tolerated TRH={row['mint_tolerated_trh']:.0f}")
+    # More frequent RFM (lower RFMTH) -> fewer Mithril entries needed
+    # and lower MINT tolerated threshold.
+    assert rows[0]["mithril_entries"] < rows[-1]["mithril_entries"]
+    assert rows[0]["mint_tolerated_trh"] < rows[-1]["mint_tolerated_trh"]
+
+
+def test_mop_burst_ablation(benchmark):
+    rows = run_once(benchmark, ablation.mop_burst_ablation, n_requests=700)
+    print("\nMOP burst ablation (copy @ tMRO=66ns):")
+    for row in rows:
+        print(f"  lines/group={row['lines_per_group']}  "
+              f"hit rate={row['baseline_hit_rate']:.3f}  "
+              f"perf@66ns={row['perf_at_tmro']:.3f}")
+    # Longer bursts give higher baseline hit rates (more to lose).
+    hits = [row["baseline_hit_rate"] for row in rows]
+    assert hits == sorted(hits)
+
+
+def test_page_policy_ablation(benchmark):
+    rows = run_once(benchmark, ablation.page_policy_ablation, n_requests=700)
+    print("\nPage-policy ablation (mcf, idle-precharge timer):")
+    for row in rows:
+        label = ("none" if row["idle_close_cycles"] == -1
+                 else row["idle_close_cycles"])
+        print(f"  idle_close={label}  conflict rate={row['conflict_rate']:.3f}"
+              f"  perf@tMRO36={row['perf_at_tmro36']:.3f}")
+    # Without idle precharge, random traffic conflicts more, which is
+    # exactly what makes a forced-close policy (tMRO) look better.
+    by_idle = {row["idle_close_cycles"]: row for row in rows}
+    assert by_idle[-1]["conflict_rate"] >= by_idle[150]["conflict_rate"]
+
+
+def test_dsac_ablation(benchmark):
+    rows = benchmark(ablation.dsac_ablation)
+    print("\nDSAC underestimation (Section VII):")
+    for row in rows:
+        print(f"  tON={row['ton_trc']:.0f} tRC: "
+              f"{row['underestimation']:.1f}x under-counted")
+    factors = [row["underestimation"] for row in rows]
+    assert factors == sorted(factors)
+    # The paper's example: ~15x at tON = 256 tRC.
+    at_256 = next(r for r in rows if r["ton_trc"] == 256.0)
+    assert 13 < at_256["underestimation"] < 17

@@ -1,0 +1,46 @@
+"""Benchmark for the security results: Eq 5 and the Fig 10 pattern."""
+
+from repro.core.analysis import impress_n_effective_threshold
+from repro.dram.timing import default_cycle_timings
+from repro.security.verifier import effective_threshold
+
+TRH = 4000.0
+
+
+def test_effective_thresholds(benchmark):
+    timings = default_cycle_timings()
+
+    def sweep():
+        results = {}
+        results["no-rp"] = effective_threshold(
+            "no-rp", TRH, alpha=0.48, timings=timings
+        )
+        results["express"] = effective_threshold(
+            "express", TRH, alpha=0.35, timings=timings,
+            tmro_cycles=timings.tRAS + timings.tRC,
+        )
+        for alpha in (0.35, 1.0):
+            results[f"impress-n a={alpha}"] = effective_threshold(
+                "impress-n", TRH, alpha=alpha, timings=timings
+            )
+        results["impress-p"] = effective_threshold(
+            "impress-p", TRH, alpha=1.0, timings=timings, fraction_bits=7
+        )
+        return results
+
+    results = benchmark(sweep)
+    print("\nEffective thresholds (TRH = 4000):")
+    for name, report in results.items():
+        print(
+            f"  {name:>18}: T* = {report.effective_threshold:7.1f} "
+            f"({report.relative_threshold:.3f} TRH)  "
+            f"worst: {report.worst_pattern}"
+        )
+    # No-RP collapses under Row-Press; Eq 5 for ImPress-N; ImPress-P
+    # keeps the full threshold.
+    assert results["no-rp"].relative_threshold < 0.05
+    for alpha in (0.35, 1.0):
+        expected = impress_n_effective_threshold(TRH, alpha)
+        measured = results[f"impress-n a={alpha}"].effective_threshold
+        assert abs(measured - expected) / expected < 0.01
+    assert results["impress-p"].relative_threshold == 1.0

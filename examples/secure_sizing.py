@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Size a Row-Press-safe defense for a given Rowhammer threshold.
+
+Given a target TRH, this walks the provisioning math for each scheme:
+what threshold the tracker must actually be built for, how many entries
+that costs, and what the verifier says the resulting T* is.
+"""
+
+import argparse
+
+from repro.core.analysis import impress_n_effective_threshold
+from repro.dram.timing import default_cycle_timings
+from repro.security.verifier import effective_threshold
+from repro.trackers.para import para_probability
+from repro.trackers.sizing import (
+    graphene_entries,
+    graphene_storage,
+    mithril_entries,
+)
+
+SCHEMES = ("no-rp", "express", "impress-n", "impress-p")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trh", type=float, default=4000.0,
+                        help="Rowhammer threshold to defend (default 4000)")
+    parser.add_argument("--alpha", type=float, default=1.0,
+                        help="charge-leakage ratio for ExPress/ImPress-N")
+    args = parser.parse_args()
+    trh, alpha = args.trh, args.alpha
+    timings = default_cycle_timings()
+    tmro = timings.tRAS + timings.tRC
+
+    print(f"Provisioning for TRH = {trh:.0f}, alpha = {alpha}\n")
+    header = (f"{'scheme':>10} {'target T':>9} {'graphene':>9} "
+              f"{'mithril':>8} {'PARA p':>9} {'verified T*':>12}")
+    print(header)
+    for scheme in SCHEMES:
+        if scheme in ("express", "impress-n"):
+            target = impress_n_effective_threshold(trh, alpha)
+        else:
+            target = trh
+        bits = 7 if scheme == "impress-p" else 0
+        report = effective_threshold(
+            scheme,
+            trh,
+            alpha=alpha,
+            timings=timings,
+            tmro_cycles=tmro if scheme == "express" else None,
+            fraction_bits=bits,
+        )
+        print(
+            f"{scheme:>10} {target:9.0f} {graphene_entries(target):9d} "
+            f"{mithril_entries(target):8d} {para_probability(target):9.5f} "
+            f"{report.relative_threshold:11.2f}x"
+        )
+    base = graphene_storage(trh, 1.0)
+    precise = graphene_storage(trh, 1.0, fraction_bits=7)
+    doubled = graphene_storage(trh, 1.0 + alpha)
+    print(
+        f"\nGraphene SRAM per channel: no-RP {base.kib_per_channel:.0f} KiB, "
+        f"ExPress/ImPress-N {doubled.kib_per_channel:.0f} KiB, "
+        f"ImPress-P {precise.kib_per_channel:.0f} KiB "
+        f"({precise.kib_per_channel / base.kib_per_channel:.2f}x)"
+    )
+    print("\nNote: the verified T* for no-rp collapses because nothing "
+          "limits row-open time;\nImPress-P is the only scheme keeping "
+          "T* = TRH with 1x entries.")
+
+
+if __name__ == "__main__":
+    main()

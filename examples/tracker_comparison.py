@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Compare all four trackers under every Row-Press scheme.
+
+For each (tracker, scheme) pair this prints performance on a streaming
+workload, storage cost, and the provisioning threshold — the trade-off
+space of Table III and Section VI-C.
+"""
+
+from repro.sim.config import DefenseConfig
+from repro.sim.metrics import normalized_weighted_speedup
+from repro.sim.system import simulate_workload
+from repro.trackers.sizing import (
+    graphene_storage,
+    mint_storage_bytes,
+    mithril_storage,
+)
+
+TRH = 4000.0
+MINT_TRH = 1600.0
+WORKLOAD = "triad"
+REQUESTS = 800
+
+
+def storage_label(tracker: str, scheme: str, alpha: float) -> str:
+    bits = 7 if scheme == "impress-p" else 0
+    factor = 1.0 + alpha if scheme in ("express", "impress-n") else 1.0
+    if tracker == "graphene":
+        estimate = graphene_storage(TRH, factor, bits)
+        return (f"{estimate.entries_per_bank} entries/bank, "
+                f"{estimate.kib_per_channel:.0f} KiB/ch")
+    if tracker == "mithril":
+        estimate = mithril_storage(TRH, 80, factor, bits)
+        return (f"{estimate.entries_per_bank} entries/bank, "
+                f"{estimate.kib_per_channel:.0f} KiB/ch")
+    if tracker == "mint":
+        return f"{mint_storage_bytes(bits)} B/bank"
+    return "p register only"
+
+
+def main() -> None:
+    plans = [
+        ("graphene", ("no-rp", "express", "impress-n", "impress-p"), TRH),
+        ("para", ("no-rp", "express", "impress-n", "impress-p"), TRH),
+        ("mithril", ("no-rp", "impress-n", "impress-p"), TRH),
+        ("mint", ("no-rp", "impress-n", "impress-p"), MINT_TRH),
+    ]
+    print(f"Workload '{WORKLOAD}', TRH = {TRH:.0f} "
+          f"(MINT at its RFM-80 figure of merit, {MINT_TRH:.0f}):\n")
+    for tracker, schemes, trh in plans:
+        baseline = simulate_workload(
+            WORKLOAD,
+            DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh),
+            n_requests_per_core=REQUESTS,
+        )
+        for scheme in schemes:
+            defense = DefenseConfig(
+                tracker=tracker, scheme=scheme, trh=trh, alpha=1.0
+            )
+            result = simulate_workload(
+                WORKLOAD, defense, n_requests_per_core=REQUESTS
+            )
+            perf = normalized_weighted_speedup(result, baseline)
+            print(f"{tracker:>9} + {scheme:<10} perf {perf:5.3f}  "
+                  f"target TRH {defense.target_threshold:6.0f}  "
+                  f"[{storage_label(tracker, scheme, 1.0)}]")
+        print()
+    print("ExPress is absent for Mithril/MINT: a memory-controller tMRO "
+          "is invisible to in-DRAM trackers (Section II-E).")
+
+
+if __name__ == "__main__":
+    main()

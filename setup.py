@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs a legacy setup.py path
+when bdist_wheel is unavailable; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``experiment <name>`` — run one experiment module (fig3, fig13,
+  tables, ablation, ...) and print its series.
+* ``verify`` — report the effective threshold of every scheme under
+  adversarial Row-Press patterns.
+* ``size`` — print tracker provisioning for a threshold/alpha.
+* ``simulate`` — run one workload against one defense configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from . import experiments
+from .core.analysis import impress_n_effective_threshold
+from .dram.timing import default_cycle_timings
+from .security.verifier import effective_threshold
+from .sim.config import DefenseConfig, SCHEME_NAMES, TRACKER_NAMES
+from .sim.system import simulate_workload
+from .trackers.para import para_probability
+from .trackers.sizing import graphene_entries, graphene_storage, mithril_entries
+
+EXPERIMENT_MODULES = {
+    "tables": experiments.tables,
+    "fig3": experiments.fig3,
+    "fig4": experiments.fig4,
+    "fig5": experiments.fig5,
+    "fig6_7_8": experiments.fig6_7_8,
+    "fig12": experiments.fig12,
+    "fig13": experiments.fig13,
+    "fig14": experiments.fig14,
+    "fig15": experiments.fig15,
+    "fig16": experiments.fig16,
+    "fig18_19": experiments.fig18_19,
+    "energy": experiments.energy,
+    "ablation": experiments.ablation,
+    "all": experiments.runner,
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = EXPERIMENT_MODULES.get(args.name)
+    if module is None:
+        known = ", ".join(sorted(EXPERIMENT_MODULES))
+        print(f"unknown experiment {args.name!r}; choose from: {known}")
+        return 2
+    module.main()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    timings = default_cycle_timings()
+    tmro = timings.tRAS + timings.tRC
+    print(f"Effective thresholds at TRH={args.trh:.0f}, "
+          f"alpha={args.alpha}:")
+    for scheme in SCHEME_NAMES:
+        report = effective_threshold(
+            scheme,
+            args.trh,
+            alpha=args.alpha,
+            timings=timings,
+            tmro_cycles=tmro if scheme == "express" else None,
+            fraction_bits=args.fraction_bits,
+        )
+        print(f"  {scheme:>10}: T* = {report.effective_threshold:8.1f} "
+              f"({report.relative_threshold:.3f} TRH), "
+              f"worst: {report.worst_pattern}")
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    trh, alpha = args.trh, args.alpha
+    reduced = impress_n_effective_threshold(trh, alpha)
+    print(f"Provisioning for TRH={trh:.0f} (alpha={alpha}):")
+    for scheme, target in (("no-rp / impress-p", trh),
+                           ("express / impress-n", reduced)):
+        print(f"  {scheme:>20}: target T={target:.0f}, "
+              f"graphene {graphene_entries(target)} entries, "
+              f"mithril {mithril_entries(target)} entries, "
+              f"PARA p=1/{1 / para_probability(target):.0f}")
+    precise = graphene_storage(trh, 1.0, fraction_bits=7)
+    base = graphene_storage(trh, 1.0)
+    print(f"  ImPress-P storage factor: "
+          f"{precise.total_bits_per_channel / base.total_bits_per_channel:.2f}x")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    defense = DefenseConfig(
+        tracker=args.tracker, scheme=args.scheme, trh=args.trh,
+        alpha=args.alpha,
+    )
+    result = simulate_workload(
+        args.workload, defense, n_requests_per_core=args.requests
+    )
+    print(f"{args.workload} + {args.tracker}/{args.scheme}: "
+          f"{result.elapsed_cycles} cycles, hit rate {result.hit_rate:.3f}")
+    print(f"  demand ACTs {result.counts.demand_acts}, "
+          f"mitigative ACTs {result.counts.mitigative_acts}, "
+          f"REF {result.counts.refreshes}, RFM {result.counts.rfms}")
+    energy = result.energy()
+    print(f"  energy {energy.total:.0f} units "
+          f"(ACT share {energy.activation_share:.2f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser("experiment", help="run one experiment")
+    experiment.add_argument("name", help="fig3, fig13, tables, all, ...")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    verify = sub.add_parser("verify", help="verify effective thresholds")
+    verify.add_argument("--trh", type=float, default=4000.0)
+    verify.add_argument("--alpha", type=float, default=1.0)
+    verify.add_argument("--fraction-bits", type=int, default=7)
+    verify.set_defaults(func=_cmd_verify)
+
+    size = sub.add_parser("size", help="tracker provisioning")
+    size.add_argument("--trh", type=float, default=4000.0)
+    size.add_argument("--alpha", type=float, default=1.0)
+    size.set_defaults(func=_cmd_size)
+
+    simulate = sub.add_parser("simulate", help="run one workload")
+    simulate.add_argument("workload")
+    simulate.add_argument("--tracker", choices=TRACKER_NAMES,
+                          default="graphene")
+    simulate.add_argument("--scheme", choices=SCHEME_NAMES,
+                          default="impress-p")
+    simulate.add_argument("--trh", type=float, default=4000.0)
+    simulate.add_argument("--alpha", type=float, default=1.0)
+    simulate.add_argument("--requests", type=int, default=1000)
+    simulate.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Closed-form analyses from the paper.
+
+* Eq 5: ImPress-N's worst-case effective threshold TRH / (1 + alpha).
+* Fig 12: ImPress-P's effective threshold vs fractional counter bits.
+* Appendix B, Eq 6-9: Graphene slowdown under the parameterized
+  RH+RP attack loop (8/T, independent of the Row-Press amount K).
+* Appendix B, Eq 10: PARA slowdown 4*min(1, p(K+1))/(K+1).
+"""
+
+from __future__ import annotations
+
+from ..data.rowpress import relative_threshold_at_tmro
+from .charge import ALPHA_SHORT, ConservativeLinearModel
+
+
+def impress_n_effective_threshold(trh: float, alpha: float) -> float:
+    """Eq 5: T* = TRH / (1 + alpha).
+
+    The Fig-10 decoy pattern keeps a row open for tRAS + tRC while being
+    seen as a single ACT, so each round leaks (1 + alpha) units of charge
+    against one recorded unit.
+    """
+    if trh <= 0:
+        raise ValueError("trh must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    return trh / (1.0 + alpha)
+
+
+def impress_p_relative_threshold(fraction_bits: int) -> float:
+    """Fig 12: relative T* of ImPress-P with b fractional counter bits.
+
+    EACT itself has 7 fractional bits (tRC is 128 cycles), so 7 stored
+    bits track exactly: T* = TRH.  With fewer bits the counter's
+    precision is 2**-b, and so is the loss of accuracy:
+    T*/TRH = 1 - 2**-b (the paper's bound; the verifier's exact search
+    can only do better).  With b = 0 the design degenerates to ImPress-N
+    at alpha = 1, i.e. T*/TRH = 0.5.
+    """
+    if fraction_bits < 0:
+        raise ValueError("fraction_bits must be non-negative")
+    if fraction_bits >= 7:
+        return 1.0
+    if fraction_bits == 0:
+        return 0.5
+    return 1.0 - 2.0**-fraction_bits
+
+
+def express_relative_threshold_clm(
+    tmro_ns: float, alpha: float = ALPHA_SHORT, trc_ns: float = 48.0,
+    tras_ns: float = 36.0,
+) -> float:
+    """T*/TRH of ExPress at tMRO, from the Conservative Linear Model.
+
+    Each round under tMRO leaks at most TCL(tMRO) units, so the defense
+    observes TRH / TCL(tMRO) activations before a flip.
+    """
+    model = ConservativeLinearModel(alpha=alpha, tras_trc=tras_ns / trc_ns)
+    return 1.0 / model.tcl_of_open_time(tmro_ns / trc_ns)
+
+
+def express_relative_threshold_measured(tmro_ns: float) -> float:
+    """T*/TRH of ExPress at tMRO, from the characterization data (Fig 4)."""
+    return relative_threshold_at_tmro(tmro_ns)
+
+
+# ----------------------------------------------------------------------
+# Appendix B: performance under the parameterized RH + RP attack loop
+# ----------------------------------------------------------------------
+
+#: Activations per mitigation: blast radius 2, two victims on each side.
+MITIGATION_ACTS = 4
+
+
+def appendix_para_probability(trh: float) -> float:
+    """PARA probability used in the Appendix-B analysis.
+
+    The appendix quotes p = 1/84, 1/42, 1/21 for TRH = 4000/2000/1000,
+    i.e. p = 1000 / (21 * TRH).
+    """
+    if trh <= 0:
+        raise ValueError("trh must be positive")
+    return min(1.0, 1000.0 / (21.0 * trh))
+
+
+def graphene_attack_slowdown(trh: float, k: int = 0) -> float:
+    """Eq 6-9: fractional slowdown of Graphene under the K-pattern.
+
+    Graphene mitigates every TRH/2 recorded activations; with ImPress-P
+    each loop iteration of total time (K+1) tRC records (K+1) EACT, so
+    the mitigation cost of 4 ACTs amortizes to 8/TRH regardless of K.
+    """
+    if trh <= 0:
+        raise ValueError("trh must be positive")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return 2.0 * MITIGATION_ACTS / trh
+
+
+def para_attack_slowdown(trh: float, k: int, p: float | None = None) -> float:
+    """Eq 10: fractional slowdown of PARA+ImPress-P under the K-pattern.
+
+    Each loop iteration lasts (K+1) tRC and is selected with probability
+    min(1, p * (K+1)); a selection costs 4 ACTs (4 tRC).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if p is None:
+        p = appendix_para_probability(trh)
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    eact = k + 1
+    return MITIGATION_ACTS * min(1.0, p * eact) / eact
+
+
+def attack_iteration_time_trc(k: int) -> float:
+    """Total time of one K-pattern loop iteration, in tRC units (Fig 17)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return float(k + 1)

@@ -1,0 +1,200 @@
+"""Unified Charge-Loss Model (Section IV of the paper).
+
+Both Rowhammer (RH) and Row-Press (RP) damage a victim cell by causing
+charge loss, at different rates.  The model normalizes everything to the
+damage of one RH activation:
+
+* Eq 1: ``TCL_RH = K`` after K activations (1 unit per ACT).
+* Eq 2: ``TCL_RP = 1 + f((tON - tRAS)/tRC)`` for a row kept open tON.
+* Eq 3: the Conservative Linear Model (CLM)
+  ``TCL = 1 + alpha * (tON - tRAS)/tRC`` with alpha chosen so that no
+  observed data point lies above the line.
+
+The module also evaluates the combined damage of arbitrary patterns that
+interleave RH and RP rounds, which is what the security verifier uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: alpha covering the short-duration characterization (tON <= 2 tRC).
+ALPHA_SHORT = 0.35
+#: alpha covering the long-duration data across all 21 devices (Fig 7).
+ALPHA_LONG = 0.48
+#: device-independent alpha (RP can never out-damage RH per unit time).
+ALPHA_SAFE = 1.0
+
+#: Table I values in tRC-normalized units: tRAS = 36ns = 0.75 tRC,
+#: tPRE = 12 ns = 0.25 tRC.
+TRAS_TRC = 0.75
+TPRE_TRC = 0.25
+
+
+def rowhammer_tcl(activations: float) -> float:
+    """Eq 1: total charge loss of a pure Rowhammer attack."""
+    if activations < 0:
+        raise ValueError("activations must be non-negative")
+    return float(activations)
+
+
+@dataclass(frozen=True)
+class ConservativeLinearModel:
+    """Eq 3: TCL of one access that keeps the row open for tON.
+
+    All times are expressed in units of tRC.  ``alpha`` is the relative
+    charge leakage per tRC of row-open time; alpha=1 reproduces the
+    Rowhammer rate and is the device-independent choice (Observation 4).
+    """
+
+    alpha: float = ALPHA_SHORT
+    tras_trc: float = TRAS_TRC
+    tpre_trc: float = TPRE_TRC
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if not 0 < self.tras_trc <= 1:
+            raise ValueError("tRAS must be positive and at most tRC")
+
+    def tcl_of_open_time(self, ton_trc: float) -> float:
+        """TCL of a single round holding the row open for ``ton_trc``.
+
+        A round with ``ton_trc == tRAS`` degenerates to one Rowhammer
+        activation (TCL = 1).
+        """
+        if ton_trc < self.tras_trc - 1e-12:
+            raise ValueError("tON cannot be below tRAS")
+        return 1.0 + self.alpha * (ton_trc - self.tras_trc)
+
+    def tcl_of_attack_time(self, total_trc: float) -> float:
+        """TCL of a round whose *total* duration (tON + tPRE) is given.
+
+        This is the x-axis of Figure 8: the minimum total time is one tRC
+        (tRAS + tPRE), which yields TCL = 1.
+        """
+        return self.tcl_of_open_time(total_trc - self.tpre_trc)
+
+    def rounds_to_flip(self, trh: float, ton_trc: float) -> float:
+        """Rounds of an RP(tON) pattern needed to reach critical charge."""
+        return trh / self.tcl_of_open_time(ton_trc)
+
+    def effective_threshold(self, trh: float, ton_trc: float) -> float:
+        """Activations seen by an unaware RH defense before a bit flips.
+
+        Each RP round registers as a single activation, so the defense
+        observes only ``rounds_to_flip`` activations — the reduced T*.
+        """
+        return self.rounds_to_flip(trh, ton_trc)
+
+
+def unified_tcl(
+    rounds: Iterable[float],
+    alpha: float = ALPHA_SHORT,
+    tras_trc: float = TRAS_TRC,
+) -> float:
+    """Combined charge loss of an arbitrary RH/RP pattern.
+
+    ``rounds`` is the sequence of row-open times (in tRC units) of the
+    aggressor across the attack; an entry equal to tRAS is a plain
+    Rowhammer activation.  This realizes Key Observation 2: the model
+    estimates the combined effect of any interleaving.
+    """
+    model = ConservativeLinearModel(alpha=alpha, tras_trc=tras_trc)
+    return sum(model.tcl_of_open_time(t) for t in rounds)
+
+
+def fastest_attack_is_rowhammer(
+    alpha: float, duration_trc: float, tras_trc: float = TRAS_TRC
+) -> bool:
+    """Key Observation 2: with alpha <= 1, pure RH maximizes damage rate.
+
+    Compares the damage of spending ``duration_trc`` on back-to-back
+    activations against one long RP round of the same duration.
+    """
+    rh_damage = math.floor(duration_trc)  # one ACT per tRC
+    model = ConservativeLinearModel(alpha=alpha, tras_trc=tras_trc)
+    rp_damage = model.tcl_of_open_time(duration_trc - TPRE_TRC)
+    return rh_damage >= rp_damage
+
+
+# ----------------------------------------------------------------------
+# Fitting the model to characterization data
+# ----------------------------------------------------------------------
+
+Point = Tuple[float, float]  # (total attack time in tRC, observed TCL)
+
+
+def fit_clm(
+    points: Sequence[Point],
+    tras_trc: float = TRAS_TRC,
+    tpre_trc: float = TPRE_TRC,
+) -> ConservativeLinearModel:
+    """Fit the Conservative Linear Model to observed (time, TCL) points.
+
+    Section IV-C: rather than a best fit with error in both directions,
+    CLM picks the smallest alpha such that *no* observed data point lies
+    above the line — underestimating TCL would be a security failure.
+    """
+    if not points:
+        raise ValueError("need at least one data point")
+    alpha = 0.0
+    for total_trc, tcl in points:
+        extra = total_trc - tpre_trc - tras_trc
+        if extra <= 1e-12:
+            if tcl > 1.0 + 1e-9:
+                raise ValueError(
+                    "data point at minimal time exceeds one unit of damage"
+                )
+            continue
+        alpha = max(alpha, (tcl - 1.0) / extra)
+    return ConservativeLinearModel(
+        alpha=alpha, tras_trc=tras_trc, tpre_trc=tpre_trc
+    )
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Best-effort curve fit ``TCL = 1 + a * extra**b`` (Fig 8's dotted line).
+
+    Unlike CLM this is a least-squares fit, so observed points may lie on
+    either side — which is exactly why the paper rejects it for hardware.
+    """
+
+    a: float
+    b: float
+    tras_trc: float = TRAS_TRC
+    tpre_trc: float = TPRE_TRC
+
+    def tcl_of_attack_time(self, total_trc: float) -> float:
+        extra = total_trc - self.tpre_trc - self.tras_trc
+        if extra <= 0:
+            return 1.0
+        return 1.0 + self.a * extra**self.b
+
+
+def fit_power_law(
+    points: Sequence[Point],
+    tras_trc: float = TRAS_TRC,
+    tpre_trc: float = TPRE_TRC,
+) -> PowerLawFit:
+    """Least-squares fit of ``TCL - 1`` against extra open time (log-log)."""
+    xs: List[float] = []
+    ys: List[float] = []
+    for total_trc, tcl in points:
+        extra = total_trc - tpre_trc - tras_trc
+        if extra > 1e-9 and tcl > 1.0 + 1e-9:
+            xs.append(math.log(extra))
+            ys.append(math.log(tcl - 1.0))
+    if len(xs) < 2:
+        raise ValueError("need at least two usable points for a fit")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    b = sxy / sxx if sxx > 0 else 0.0
+    a = math.exp(mean_y - b * mean_x)
+    return PowerLawFit(a=a, b=b, tras_trc=tras_trc, tpre_trc=tpre_trc)

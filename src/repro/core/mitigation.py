@@ -1,0 +1,187 @@
+"""Row-Press mitigation schemes: No-RP, ExPress, ImPress-N, ImPress-P.
+
+A mitigation scheme sits between the DRAM banks and the Rowhammer
+trackers.  It decides *what* each piece of bank activity is worth to the
+tracker:
+
+* **No-RP** — the Row-Press-oblivious baseline: one record per ACT.
+* **ExPress** (Luo et al.) — also one record per ACT, but the memory
+  controller additionally limits row-open time to tMRO and the tracker
+  must be provisioned for the reduced threshold T* (Fig 1c).
+* **ImPress-N** — divides time into tRC windows; a row open for a full
+  window is recorded as one extra activation (Fig 9).  Sub-window
+  Row-Press stays unmitigated, costing up to (1 + alpha) in threshold
+  (Eq 5).
+* **ImPress-P** — measures tON precisely, converts (tON + tPRE)/tRC into
+  a fractional EACT and records that weight (Fig 11).  No threshold loss
+  with full-precision counters.
+
+The scheme returns aggressor rows that memory-controller-based trackers
+want mitigated; the controller turns those into victim refreshes.
+In-DRAM trackers mitigate under RFM instead and always return nothing
+from the record path.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from ..dram.timing import CycleTimings
+from ..trackers.base import Tracker
+from .eact import quantize_eact
+
+
+class MitigationScheme(abc.ABC):
+    """Feeds bank activity into per-bank trackers under one RP policy."""
+
+    name: str = "base"
+
+    def __init__(
+        self, trackers: Sequence[Tracker], timings: CycleTimings
+    ) -> None:
+        if not trackers:
+            raise ValueError("need at least one per-bank tracker")
+        self.trackers = list(trackers)
+        self.timings = timings
+
+    def tracker_for(self, bank: int) -> Tracker:
+        return self.trackers[bank]
+
+    def tmro_cycles(self) -> Optional[int]:
+        """Row-open-time limit the controller must enforce (ExPress only)."""
+        return None
+
+    def on_activate(self, bank: int, row: int, cycle: int) -> List[int]:
+        """A row was activated; returns aggressors to mitigate now."""
+        return self.tracker_for(bank).record(row, 1.0, cycle)
+
+    def on_row_closed(
+        self, bank: int, row: int, act_cycle: int, close_cycle: int
+    ) -> List[int]:
+        """A row finished its access (close_cycle is when PRE was issued)."""
+        return []
+
+    def on_rfm(self, bank: int, cycle: int) -> Optional[int]:
+        """RFM arrived at the bank; in-DRAM trackers mitigate here."""
+        return self.tracker_for(bank).on_rfm(cycle)
+
+    def storage_bytes_per_bank(self) -> int:
+        """Extra per-bank state the scheme itself needs (not the tracker)."""
+        return 0
+
+
+class NoRpScheme(MitigationScheme):
+    """Row-Press-oblivious baseline: plain Rowhammer tracking."""
+
+    name = "no-rp"
+
+
+class ExpressScheme(MitigationScheme):
+    """Explicit Row-Press mitigation (Luo et al.).
+
+    The controller closes any row open for ``tmro`` cycles; the trackers
+    passed in must already be provisioned for the reduced threshold
+    T* = TRH / TCL(tMRO) — use :mod:`repro.trackers.sizing` and
+    :mod:`repro.data.rowpress` to compute it.
+    """
+
+    name = "express"
+
+    def __init__(
+        self,
+        trackers: Sequence[Tracker],
+        timings: CycleTimings,
+        tmro_cycles: int,
+    ) -> None:
+        super().__init__(trackers, timings)
+        if tmro_cycles < timings.tRAS:
+            raise ValueError("tMRO cannot be below tRAS")
+        self._tmro = tmro_cycles
+
+    def tmro_cycles(self) -> Optional[int]:
+        return self._tmro
+
+
+class ImpressNScheme(MitigationScheme):
+    """ImPress-N: integer window accounting (Section V).
+
+    Time is divided into global windows of tRC.  A row open across an
+    entire window is treated as having caused one activation in that
+    window.  The hardware mechanism (Fig 9) samples the Open-Row Address
+    register at each window boundary and credits a row seen at two
+    consecutive boundaries; a row only registers as open once its
+    activation completes (tACT after the ACT command), which is exactly
+    the hole the Fig-10 decoy pattern exploits: an ACT landing within
+    the last tACT of a window is invisible at that boundary, so a row
+    open for tRAS + tRC can evade all credits (Eq 5).
+
+    Hardware-precision caveat: combining the tACT slack on the open
+    side with a close just before a boundary lets an adversary stretch
+    the credit-free open time slightly past tRAS + tRC (by up to
+    tACT + tPRE).  Eq 5's "at most one tRC unmitigated" bound holds at
+    the paper's one-window granularity; the exact per-round bound this
+    implementation guarantees is 1 + alpha * (tRC + tACT + tPRE)/tRC.
+    """
+
+    name = "impress-n"
+
+    def on_row_closed(
+        self, bank: int, row: int, act_cycle: int, close_cycle: int
+    ) -> List[int]:
+        trc = self.timings.tRC
+        visible_from = act_cycle + self.timings.tACT
+        first_boundary = -(-visible_from // trc)  # ceil division
+        credits = close_cycle // trc - first_boundary
+        mitigations: List[int] = []
+        tracker = self.tracker_for(bank)
+        for _ in range(max(0, credits)):
+            mitigations.extend(tracker.record(row, 1.0, close_cycle))
+        return mitigations
+
+    def storage_bytes_per_bank(self) -> int:
+        """1-byte window timer + 3-byte Open-Row Address register."""
+        return 4
+
+
+class ImpressPScheme(MitigationScheme):
+    """ImPress-P: precise EACT accounting (Section VI).
+
+    A per-bank timer measures tON; on close the access's total time
+    (tON + tPRE) is divided by tRC to get the Equivalent Activation
+    Count, truncated to ``fraction_bits`` fractional bits, and recorded
+    as the access's weight.  The plain ACT record is *not* also sent —
+    EACT already includes the first activation's unit of damage
+    (EACT >= 1 by construction).
+    """
+
+    name = "impress-p"
+
+    def __init__(
+        self,
+        trackers: Sequence[Tracker],
+        timings: CycleTimings,
+        fraction_bits: int = 7,
+    ) -> None:
+        super().__init__(trackers, timings)
+        if fraction_bits < 0:
+            raise ValueError("fraction_bits must be non-negative")
+        self.fraction_bits = fraction_bits
+
+    def on_activate(self, bank: int, row: int, cycle: int) -> List[int]:
+        # Damage is recorded at close time, once tON is known.
+        return []
+
+    def on_row_closed(
+        self, bank: int, row: int, act_cycle: int, close_cycle: int
+    ) -> List[int]:
+        total_cycles = close_cycle - act_cycle + self.timings.tPRE
+        eact = quantize_eact(total_cycles / self.timings.tRC, self.fraction_bits)
+        return self.tracker_for(bank).record(row, eact, close_cycle)
+
+    def storage_bytes_per_bank(self) -> int:
+        """A single 10-bit tON timer, rounded up to bytes."""
+        return 2
+
+
+SCHEME_NAMES = ("no-rp", "express", "impress-n", "impress-p")

@@ -1,0 +1,25 @@
+"""Characterization datasets re-derived from published envelopes."""
+
+from .rowpress import (
+    FIG4_TMRO_THRESHOLD,
+    NINE_TREFI_TRC,
+    ONE_TREFI_TRC,
+    SHORT_DURATION_POINTS,
+    DeviceCharacterization,
+    long_duration_devices,
+    long_duration_points,
+    mean_tcl_at,
+    relative_threshold_at_tmro,
+)
+
+__all__ = [
+    "FIG4_TMRO_THRESHOLD",
+    "NINE_TREFI_TRC",
+    "ONE_TREFI_TRC",
+    "SHORT_DURATION_POINTS",
+    "DeviceCharacterization",
+    "long_duration_devices",
+    "long_duration_points",
+    "mean_tcl_at",
+    "relative_threshold_at_tmro",
+]

@@ -1,0 +1,42 @@
+"""DRAM substrate: timings, banks, address mapping, refresh, devices."""
+
+from .address import LINE_BYTES, MappedAddress, MopAddressMapper
+from .bank import Bank, TimingViolation
+from .commands import Command, CommandCounts, CommandKind
+from .device import BLAST_RADIUS, DramDevice, victim_rows
+from .refresh import (
+    DDR4_MAX_POSTPONED,
+    DDR5_MAX_POSTPONED,
+    RefreshScheduler,
+)
+from .timing import (
+    CycleTimings,
+    DramClock,
+    TimingParams,
+    ddr4_timings,
+    ddr5_timings,
+    default_cycle_timings,
+)
+
+__all__ = [
+    "LINE_BYTES",
+    "MappedAddress",
+    "MopAddressMapper",
+    "Bank",
+    "TimingViolation",
+    "Command",
+    "CommandCounts",
+    "CommandKind",
+    "BLAST_RADIUS",
+    "DramDevice",
+    "victim_rows",
+    "DDR4_MAX_POSTPONED",
+    "DDR5_MAX_POSTPONED",
+    "RefreshScheduler",
+    "CycleTimings",
+    "DramClock",
+    "TimingParams",
+    "ddr4_timings",
+    "ddr5_timings",
+    "default_cycle_timings",
+]

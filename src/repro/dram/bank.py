@@ -1,0 +1,160 @@
+"""DRAM bank state machine with JEDEC-style timing enforcement.
+
+Each bank tracks its open row, when it was opened, and the earliest cycles
+at which the next ACT/PRE/column command is legal.  Banks report two events
+to registered observers:
+
+* ``on_activate(row, cycle)`` — a row was opened; Rowhammer trackers hook
+  this to count activations.
+* ``on_row_closed(row, open_cycles, total_cycles)`` — a row finished
+  precharging; ``total_cycles`` includes the precharge time, which is the
+  quantity ImPress-P divides by tRC to obtain EACT (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .timing import CycleTimings
+
+ActivateHook = Callable[[int, int], None]
+CloseHook = Callable[[int, int, int], None]
+
+
+class TimingViolation(RuntimeError):
+    """A command was issued before its earliest legal cycle."""
+
+
+@dataclass
+class Bank:
+    """A single DRAM bank.
+
+    The bank is purely reactive: callers (the memory controller or the
+    device's refresh logic) issue commands at chosen cycles, and the bank
+    validates timing and maintains row-buffer state.
+    """
+
+    timings: CycleTimings
+    bank_id: int = 0
+    open_row: Optional[int] = None
+    act_cycle: int = -1            #: cycle the open row was activated
+    _ready_act: int = 0
+    _ready_pre: int = 0
+    _ready_col: int = 0
+    _activate_hooks: List[ActivateHook] = field(default_factory=list)
+    _close_hooks: List[CloseHook] = field(default_factory=list)
+
+    def add_activate_hook(self, hook: ActivateHook) -> None:
+        self._activate_hooks.append(hook)
+
+    def add_close_hook(self, hook: CloseHook) -> None:
+        self._close_hooks.append(hook)
+
+    # -- timing queries -----------------------------------------------
+
+    def earliest_act(self) -> int:
+        """Earliest cycle an ACT may be issued (row must be closed)."""
+        return self._ready_act
+
+    def earliest_pre(self) -> int:
+        """Earliest cycle the open row may be precharged."""
+        return self._ready_pre
+
+    def earliest_col(self) -> int:
+        """Earliest cycle a RD/WR may be issued to the open row."""
+        return self._ready_col
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None
+
+    def open_time(self, cycle: int) -> int:
+        """Cycles the current row has been open as of ``cycle``."""
+        if self.open_row is None:
+            return 0
+        return cycle - self.act_cycle
+
+    # -- commands -------------------------------------------------------
+
+    def activate(self, row: int, cycle: int) -> None:
+        """Open ``row``; the bank must be precharged and past tRC."""
+        if self.open_row is not None:
+            raise TimingViolation(
+                f"bank {self.bank_id}: ACT while row {self.open_row} open"
+            )
+        if cycle < self._ready_act:
+            raise TimingViolation(
+                f"bank {self.bank_id}: ACT at {cycle} before {self._ready_act}"
+            )
+        self.open_row = row
+        self.act_cycle = cycle
+        self._ready_pre = cycle + self.timings.tRAS
+        self._ready_col = cycle + self.timings.tRCD
+        self._ready_act = cycle + self.timings.tRC
+        for hook in self._activate_hooks:
+            hook(row, cycle)
+
+    def column_access(self, cycle: int) -> int:
+        """Issue a RD/WR burst; returns the cycle data is available."""
+        if self.open_row is None:
+            raise TimingViolation(f"bank {self.bank_id}: column access, no row")
+        if cycle < self._ready_col:
+            raise TimingViolation(
+                f"bank {self.bank_id}: column at {cycle} before {self._ready_col}"
+            )
+        self._ready_col = cycle + self.timings.tCCD
+        return cycle + self.timings.tCAS
+
+    def precharge(self, cycle: int) -> int:
+        """Close the open row; returns cycles the row was open (sans tPRE)."""
+        if self.open_row is None:
+            raise TimingViolation(f"bank {self.bank_id}: PRE with no open row")
+        if cycle < self._ready_pre:
+            raise TimingViolation(
+                f"bank {self.bank_id}: PRE at {cycle} before {self._ready_pre}"
+            )
+        row = self.open_row
+        open_cycles = cycle - self.act_cycle
+        total_cycles = open_cycles + self.timings.tPRE
+        self.open_row = None
+        self._ready_act = max(self._ready_act, cycle + self.timings.tPRE)
+        for hook in self._close_hooks:
+            hook(row, open_cycles, total_cycles)
+        return open_cycles
+
+    def block_until(self, cycle: int) -> None:
+        """Reserve the (closed) bank for internal work until ``cycle``.
+
+        Used for mitigative victim-refresh bursts, which occupy the bank
+        without going through the demand ACT path.
+        """
+        if self.open_row is not None:
+            raise TimingViolation(
+                f"bank {self.bank_id}: cannot block with row open"
+            )
+        self._ready_act = max(self._ready_act, cycle)
+
+    def refresh(self, cycle: int) -> int:
+        """Perform a REF; the row must be closed.  Returns completion cycle."""
+        if self.open_row is not None:
+            raise TimingViolation(f"bank {self.bank_id}: REF with open row")
+        if cycle < self._ready_act:
+            raise TimingViolation(
+                f"bank {self.bank_id}: REF at {cycle} before {self._ready_act}"
+            )
+        done = cycle + self.timings.tRFC
+        self._ready_act = done
+        return done
+
+    def rfm(self, cycle: int) -> int:
+        """Perform an RFM; the row must be closed.  Returns completion cycle."""
+        if self.open_row is not None:
+            raise TimingViolation(f"bank {self.bank_id}: RFM with open row")
+        if cycle < self._ready_act:
+            raise TimingViolation(
+                f"bank {self.bank_id}: RFM at {cycle} before {self._ready_act}"
+            )
+        done = cycle + self.timings.tRFM
+        self._ready_act = done
+        return done

@@ -1,0 +1,97 @@
+"""Refresh scheduling, including DDR5 refresh postponement.
+
+All of DRAM is refreshed every tREFW.  To hide the latency, memory is split
+into :attr:`TimingParams.refresh_groups` groups (8192 in Table I) and one
+REF pulse is issued every tREFI.  DDR5 allows postponing up to 4 refreshes,
+so the time between REF commands — and hence the longest a row can stay
+open before refresh forces it closed — can stretch to 5x tREFI.  That
+stretch is exactly what long-duration Row-Press attacks exploit
+(Section II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timing import CycleTimings
+
+DDR5_MAX_POSTPONED = 4
+DDR4_MAX_POSTPONED = 8
+
+
+@dataclass
+class RefreshScheduler:
+    """Tracks refresh debt for one bank (or bank group).
+
+    The controller calls :meth:`due` each scheduling step; when it returns
+    True a REF must be issued (no postponement credit left).  Attack
+    analyses use :meth:`max_row_open_cycles` for the refresh-limited bound
+    on tON.
+    """
+
+    timings: CycleTimings
+    max_postponed: int = DDR5_MAX_POSTPONED
+    postpone: bool = False      #: attacker-controlled: defer while legal
+    phase_offset: int = 0       #: stagger across banks to avoid lockstep
+    _next_due: int = field(default=0, init=False)
+    _postponed: int = field(default=0, init=False)
+    _issued: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._next_due = self.timings.tREFI + self.phase_offset
+
+    @property
+    def next_due(self) -> int:
+        """Cycle at which the next refresh pulse becomes pending."""
+        return self._next_due
+
+    @property
+    def issued(self) -> int:
+        return self._issued
+
+    @property
+    def postponed(self) -> int:
+        return self._postponed
+
+    def pending(self, cycle: int) -> bool:
+        """True when a refresh pulse has become due by ``cycle``."""
+        return cycle >= self._next_due
+
+    def due(self, cycle: int) -> bool:
+        """True when a REF *must* be issued now.
+
+        A pulse that is merely pending can be postponed (if enabled) until
+        the postponement budget is exhausted.
+        """
+        if not self.pending(cycle):
+            return False
+        if self.postpone and self._postponed < self.max_postponed:
+            return False
+        return True
+
+    def defer(self) -> None:
+        """Consume one postponement credit for the currently-pending REF."""
+        if self._postponed >= self.max_postponed:
+            raise RuntimeError("no postponement credit left")
+        self._postponed += 1
+        self._next_due += self.timings.tREFI
+
+    def issue(self, cycle: int) -> None:
+        """Record that a REF was issued at ``cycle``."""
+        self._issued += 1
+        if self._postponed > 0:
+            # A postponed refresh is being caught up; the schedule already
+            # advanced when it was deferred.
+            self._postponed -= 1
+        else:
+            self._next_due += self.timings.tREFI
+
+    def max_row_open_cycles(self) -> int:
+        """Longest a row can stay open before refresh closes it.
+
+        Without postponement this is one tREFI; with postponement it is
+        (max_postponed + 1) x tREFI — 5x for DDR5, 9x for DDR4, matching
+        Section II-E of the paper.
+        """
+        budget = self.max_postponed if self.postpone else 0
+        return (budget + 1) * self.timings.tREFI

@@ -1,0 +1,154 @@
+"""DRAM timing parameters (Table I of the ImPress paper).
+
+All primary values are expressed in nanoseconds, exactly as the paper's
+Table I lists them.  The simulator operates on integer DRAM-clock cycles,
+so :class:`DramClock` converts between the two domains.  With the paper's
+2.66 GHz DRAM clock, ``tRC`` (48 ns) equals 128 cycles, which makes the
+division by ``tRC`` used by ImPress-P implementable as a 7-bit right shift
+(Section VI-A of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """JEDEC-style timing parameters, in nanoseconds.
+
+    The defaults reproduce Table I of the paper (DDR5).  Use
+    :func:`ddr4_timings` for the DDR4 variant referenced when re-deriving
+    the Row-Press characterization data of Luo et al.
+    """
+
+    tACT: float = 12.0      #: time to perform an activation
+    tPRE: float = 12.0      #: time to precharge an open row
+    tRAS: float = 36.0      #: minimum time a row must stay open
+    tRC: float = 48.0       #: minimum time between ACTs to a bank
+    tREFW: float = 32e6     #: refresh window (32 ms)
+    tREFI: float = 3900.0   #: interval between REF commands
+    tRFC: float = 350.0     #: execution time of a REF command
+    tONMAX: float = 19500.0 #: max row-open time permitted by DDR5
+    tRFM: float = 205.0     #: latency of an RFM command (half of tRFC)
+    tCCD: float = 6.0       #: column-to-column delay (back-to-back bursts)
+    tRCD: float = 12.0      #: ACT-to-column command delay (== tACT here)
+    tCAS: float = 14.0      #: column access latency
+
+    def __post_init__(self) -> None:
+        if self.tRAS < self.tACT:
+            raise ValueError("tRAS must be at least tACT")
+        if self.tRC < self.tRAS + self.tPRE:
+            raise ValueError("tRC must cover tRAS + tPRE")
+        if self.tREFI <= 0 or self.tREFW <= 0:
+            raise ValueError("refresh intervals must be positive")
+
+    @property
+    def refresh_groups(self) -> int:
+        """Number of refresh groups (the paper: memory is split into 8192)."""
+        return int(round(self.tREFW / self.tREFI))
+
+    def with_overrides(self, **kwargs: float) -> "TimingParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def ddr5_timings() -> TimingParams:
+    """Timing parameters of Table I (DDR5)."""
+    return TimingParams()
+
+
+def ddr4_timings() -> TimingParams:
+    """DDR4 timings used by the Row-Press characterization (Luo et al.).
+
+    The parameters that matter for the charge-loss datasets are
+    ``tREFI = 7800 ns`` and the same ``tRC = 48 ns`` normalization the
+    paper uses (1 tREFI == 162.5 tRC, which the paper rounds to 162).
+    """
+    return TimingParams(tREFI=7800.0, tREFW=64e6)
+
+
+@dataclass(frozen=True)
+class DramClock:
+    """Converts between nanoseconds and integer DRAM-clock cycles.
+
+    The paper assumes a 2.66 GHz DRAM command clock so that ``tRC`` is a
+    power-of-two number of cycles (128), letting ImPress-P divide by
+    ``tRC`` with a 7-bit shift.
+    """
+
+    freq_ghz: float = 2.66666666666
+
+    def cycles(self, time_ns: float) -> int:
+        """Round a duration in ns to the nearest whole cycle count."""
+        return int(round(time_ns * self.freq_ghz))
+
+    def ceil_cycles(self, time_ns: float) -> int:
+        """Smallest whole number of cycles covering ``time_ns``."""
+        return int(math.ceil(time_ns * self.freq_ghz - 1e-9))
+
+    def ns(self, cycle_count: int) -> float:
+        """Duration of ``cycle_count`` cycles, in nanoseconds."""
+        return cycle_count / self.freq_ghz
+
+
+@dataclass(frozen=True)
+class CycleTimings:
+    """Timing parameters converted to integer DRAM-clock cycles.
+
+    This is the form the event-driven simulator consumes.  ``trc_shift``
+    is the shift amount that implements division by ``tRC`` when ``tRC``
+    is a power of two in cycles (7 for the default configuration).
+    """
+
+    tACT: int
+    tPRE: int
+    tRAS: int
+    tRC: int
+    tREFW: int
+    tREFI: int
+    tRFC: int
+    tONMAX: int
+    tRFM: int
+    tCCD: int
+    tRCD: int
+    tCAS: int
+    clock: DramClock = field(default_factory=DramClock)
+
+    @classmethod
+    def from_ns(
+        cls, params: TimingParams, clock: DramClock | None = None
+    ) -> "CycleTimings":
+        clock = clock or DramClock()
+        return cls(
+            tACT=clock.cycles(params.tACT),
+            tPRE=clock.cycles(params.tPRE),
+            tRAS=clock.cycles(params.tRAS),
+            tRC=clock.cycles(params.tRC),
+            tREFW=clock.cycles(params.tREFW),
+            tREFI=clock.cycles(params.tREFI),
+            tRFC=clock.cycles(params.tRFC),
+            tONMAX=clock.cycles(params.tONMAX),
+            tRFM=clock.cycles(params.tRFM),
+            tCCD=clock.cycles(params.tCCD),
+            tRCD=clock.cycles(params.tRCD),
+            tCAS=clock.cycles(params.tCAS),
+            clock=clock,
+        )
+
+    @property
+    def trc_shift(self) -> int | None:
+        """Shift implementing division by tRC, or None if tRC is not 2**k."""
+        if self.tRC > 0 and (self.tRC & (self.tRC - 1)) == 0:
+            return self.tRC.bit_length() - 1
+        return None
+
+    def eact_of_cycles(self, total_cycles: int) -> float:
+        """Equivalent activation count of a ``total_cycles``-long access."""
+        return total_cycles / self.tRC
+
+
+def default_cycle_timings() -> CycleTimings:
+    """Table I converted to cycles at the paper's 2.66 GHz DRAM clock."""
+    return CycleTimings.from_ns(ddr5_timings())

@@ -1,0 +1,42 @@
+"""One module per table/figure of the paper's evaluation.
+
+See DESIGN.md's experiment index for the full mapping.  Each module
+exposes ``run(...)`` returning the figure's data series and ``main()``
+printing them; :mod:`repro.experiments.runner` drives them all.
+"""
+
+from . import (  # noqa: F401
+    ablation,
+    common,
+    energy,
+    fig3,
+    fig4,
+    fig5,
+    fig6_7_8,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig18_19,
+    runner,
+    tables,
+)
+
+__all__ = [
+    "ablation",
+    "common",
+    "energy",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6_7_8",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig18_19",
+    "runner",
+    "tables",
+]

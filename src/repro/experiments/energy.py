@@ -1,0 +1,66 @@
+"""Section VI-E: activation and DRAM energy overheads.
+
+Reports relative DRAM energy of ExPress and ImPress-P against No-RP for
+Graphene and PARA, plus the baseline's activation share of total energy
+(~11% in the paper's model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.config import DefenseConfig
+from .common import SweepRunner, workload_set
+
+TRACKERS = ("graphene", "para")
+SCHEMES = ("no-rp", "express", "impress-p")
+
+
+def run(
+    runner: Optional[SweepRunner] = None,
+    trh: float = 4000.0,
+    alpha: float = 1.0,
+    quick: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """{tracker: {scheme: mean relative DRAM energy vs unprotected}}
+    plus an ``activation_share`` entry for the unprotected baseline."""
+    runner = runner or SweepRunner()
+    names = workload_set(quick)
+    output: Dict[str, Dict[str, float]] = {}
+    shares = []
+    for name in names:
+        baseline = runner.run(name, None)
+        shares.append(baseline.energy().activation_share)
+    output["baseline"] = {
+        "activation_share": sum(shares) / len(shares)
+    }
+    for tracker in TRACKERS:
+        output[tracker] = {}
+        for scheme in SCHEMES:
+            defense = DefenseConfig(
+                tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
+            )
+            ratios = []
+            for name in names:
+                unprotected = runner.run(name, None)
+                protected = runner.run(name, defense)
+                ratios.append(
+                    protected.energy().total / unprotected.energy().total
+                )
+            output[tracker][scheme] = sum(ratios) / len(ratios)
+    return output
+
+
+def main(quick: bool = True) -> None:
+    data = run(quick=quick)
+    print(
+        "baseline activation share: "
+        f"{data['baseline']['activation_share']:.3f}"
+    )
+    for tracker in TRACKERS:
+        for scheme, ratio in data[tracker].items():
+            print(f"{tracker:>8} {scheme:>10}  energy x{ratio:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Figure 12: ImPress-P effective threshold vs fractional counter bits.
+
+Two independent routes to the same curve:
+
+* the closed-form loss 1 - 2**-b (0.5 at b = 0, Section VI-B);
+* the security verifier, which searches adversarial tON values for the
+  worst truncation loss of a b-bit counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.analysis import impress_p_relative_threshold
+from ..dram.timing import default_cycle_timings
+from ..security.verifier import effective_threshold
+
+
+def run(trh: float = 4000.0, max_bits: int = 7) -> List[Dict[str, float]]:
+    """Rows of (bits, analytic T*, verifier-measured T*)."""
+    timings = default_cycle_timings()
+    rows = []
+    for bits in range(max_bits + 1):
+        report = effective_threshold(
+            "impress-p", trh, alpha=1.0, timings=timings, fraction_bits=bits
+        )
+        rows.append(
+            {
+                "fraction_bits": bits,
+                "relative_threshold_analytic": (
+                    impress_p_relative_threshold(bits)
+                ),
+                "relative_threshold_verified": report.relative_threshold,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print("bits  T*(analytic)  T*(verified)")
+    for row in run():
+        print(
+            f"{row['fraction_bits']:4d}  "
+            f"{row['relative_threshold_analytic']:12.4f}  "
+            f"{row['relative_threshold_verified']:12.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Figure 13: scheme comparison per tracker at alpha = 1.
+
+(a) Graphene and (b) PARA with ExPress / ImPress-N / ImPress-P, each
+normalized to the tracker's own No-RP baseline; (c) the in-DRAM tracker
+(MINT) with ImPress-N (RFM-40) and ImPress-P (RFM-80) against the
+RFM-80 No-RP reference.  ExPress is omitted for MINT: it is
+incompatible with in-DRAM trackers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.config import DefenseConfig
+from .common import SweepRunner, category_geomeans, workload_set
+
+MC_TRACKERS = ("graphene", "para")
+MC_SCHEMES = ("express", "impress-n", "impress-p")
+IN_DRAM_SCHEMES = ("impress-n", "impress-p")
+
+
+def run(
+    runner: Optional[SweepRunner] = None,
+    trh: float = 4000.0,
+    alpha: float = 1.0,
+    mint_trh: float = 1600.0,
+    quick: bool = True,
+    workloads: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{tracker: {scheme: {workload/geomean: perf normalized to No-RP}}}."""
+    runner = runner or SweepRunner()
+    names = list(workloads) if workloads else workload_set(quick)
+    output: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for tracker in MC_TRACKERS:
+        baseline = DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh)
+        output[tracker] = {}
+        for scheme in MC_SCHEMES:
+            defense = DefenseConfig(
+                tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
+            )
+            per = {
+                name: runner.speedup(name, defense, baseline)
+                for name in names
+            }
+            output[tracker][scheme] = category_geomeans(per, names)
+    # In-DRAM (MINT): both schemes against the RFM-80 No-RP baseline.
+    baseline = DefenseConfig(tracker="mint", scheme="no-rp", trh=mint_trh)
+    output["mint"] = {}
+    for scheme in IN_DRAM_SCHEMES:
+        defense = DefenseConfig(
+            tracker="mint", scheme=scheme, trh=mint_trh, alpha=alpha
+        )
+        per = {
+            name: runner.speedup(name, defense, baseline) for name in names
+        }
+        output["mint"][scheme] = category_geomeans(per, names)
+    return output
+
+
+def main(quick: bool = True) -> None:
+    data = run(quick=quick)
+    for tracker, schemes in data.items():
+        for scheme, rows in schemes.items():
+            spec = rows.get("SPEC (GMean)", float("nan"))
+            stream = rows.get("STREAM (GMean)", float("nan"))
+            print(
+                f"{tracker:>8} {scheme:>10}  "
+                f"SPEC {spec:.3f}  STREAM {stream:.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

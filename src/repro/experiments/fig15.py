@@ -1,0 +1,57 @@
+"""Figure 15: scalability to lower Rowhammer thresholds.
+
+Graphene and PARA at TRH = 4K / 2K / 1K for No-RP, ExPress and
+ImPress-P, normalized to the unprotected baseline (geomean over the
+workload set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.config import DefenseConfig
+from ..sim.metrics import geomean
+from .common import SweepRunner, workload_set
+
+TRACKERS = ("graphene", "para")
+SCHEMES = ("no-rp", "express", "impress-p")
+THRESHOLDS: Sequence[float] = (4000.0, 2000.0, 1000.0)
+
+
+def run(
+    runner: Optional[SweepRunner] = None,
+    alpha: float = 1.0,
+    quick: bool = True,
+    thresholds: Sequence[float] = THRESHOLDS,
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """{tracker: {scheme: {trh: geomean perf vs unprotected}}}."""
+    runner = runner or SweepRunner()
+    names = workload_set(quick)
+    output: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for tracker in TRACKERS:
+        output[tracker] = {}
+        for scheme in SCHEMES:
+            series: Dict[float, float] = {}
+            for trh in thresholds:
+                defense = DefenseConfig(
+                    tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
+                )
+                series[trh] = geomean(
+                    [runner.speedup(name, defense, None) for name in names]
+                )
+            output[tracker][scheme] = series
+    return output
+
+
+def main(quick: bool = True) -> None:
+    data = run(quick=quick)
+    for tracker, schemes in data.items():
+        for scheme, series in schemes.items():
+            cells = "  ".join(
+                f"TRH={int(t)}:{v:.3f}" for t, v in series.items()
+            )
+            print(f"{tracker:>8} {scheme:>10}  {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Figure 16 (Appendix A): ExPress vs ImPress-N at alpha = 0.35 and 1.
+
+(a) Graphene and (b) PARA with both schemes at both alphas, normalized
+to the tracker's No-RP baseline; (c) MINT with ImPress-N at RFM-60
+(alpha = 0.35) and RFM-40 (alpha = 1) against the RFM-80 reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.config import DefenseConfig
+from .common import SweepRunner, category_geomeans, workload_set
+
+MC_TRACKERS = ("graphene", "para")
+ALPHAS: Sequence[float] = (0.35, 1.0)
+
+
+def run(
+    runner: Optional[SweepRunner] = None,
+    trh: float = 4000.0,
+    mint_trh: float = 1600.0,
+    quick: bool = True,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{tracker: {"scheme a=x": {workload/geomean: perf vs No-RP}}}."""
+    runner = runner or SweepRunner()
+    names = workload_set(quick)
+    output: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for tracker in MC_TRACKERS:
+        baseline = DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh)
+        output[tracker] = {}
+        for scheme in ("express", "impress-n"):
+            for alpha in ALPHAS:
+                defense = DefenseConfig(
+                    tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
+                )
+                per = {
+                    name: runner.speedup(name, defense, baseline)
+                    for name in names
+                }
+                label = f"{scheme} a={alpha}"
+                output[tracker][label] = category_geomeans(per, names)
+    baseline = DefenseConfig(tracker="mint", scheme="no-rp", trh=mint_trh)
+    output["mint"] = {}
+    for alpha in ALPHAS:
+        defense = DefenseConfig(
+            tracker="mint", scheme="impress-n", trh=mint_trh, alpha=alpha
+        )
+        rfmth = defense.effective_rfmth()
+        per = {
+            name: runner.speedup(name, defense, baseline) for name in names
+        }
+        output["mint"][f"impress-n a={alpha} (RFM-{rfmth})"] = (
+            category_geomeans(per, names)
+        )
+    return output
+
+
+def main(quick: bool = True) -> None:
+    data = run(quick=quick)
+    for tracker, variants in data.items():
+        for label, rows in variants.items():
+            spec = rows.get("SPEC (GMean)", float("nan"))
+            stream = rows.get("STREAM (GMean)", float("nan"))
+            print(
+                f"{tracker:>8} {label:>28}  SPEC {spec:.3f}  "
+                f"STREAM {stream:.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figures 18 and 19 (Appendix B): slowdown under the K-pattern attack.
+
+Analytic curves for ImPress-P with Graphene (flat 8/TRH regardless of
+the Row-Press amount K, Eq 6-9) and PARA (Eq 10, whose overhead falls
+once p*(K+1) saturates at 1), for TRH in {1000, 2000, 4000}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.analysis import graphene_attack_slowdown, para_attack_slowdown
+
+THRESHOLDS: Sequence[float] = (1000.0, 2000.0, 4000.0)
+K_VALUES: Sequence[int] = tuple(range(0, 101, 5))
+
+
+def fig18_series(
+    thresholds: Sequence[float] = THRESHOLDS,
+    k_values: Sequence[int] = K_VALUES,
+) -> Dict[float, List[Dict[str, float]]]:
+    """Graphene slowdown (percent) vs K for each threshold."""
+    return {
+        trh: [
+            {"k": float(k),
+             "slowdown_pct": 100.0 * graphene_attack_slowdown(trh, k)}
+            for k in k_values
+        ]
+        for trh in thresholds
+    }
+
+
+def fig19_series(
+    thresholds: Sequence[float] = THRESHOLDS,
+    k_values: Sequence[int] = K_VALUES,
+) -> Dict[float, List[Dict[str, float]]]:
+    """PARA slowdown (percent) vs K for each threshold."""
+    return {
+        trh: [
+            {"k": float(k),
+             "slowdown_pct": 100.0 * para_attack_slowdown(trh, k)}
+            for k in k_values
+        ]
+        for trh in thresholds
+    }
+
+
+def main() -> None:
+    fig18 = fig18_series()
+    for trh, rows in fig18.items():
+        print(
+            f"Fig18 Graphene TRH={int(trh)}: "
+            f"{rows[0]['slowdown_pct']:.2f}% flat over K"
+        )
+    fig19 = fig19_series()
+    for trh, rows in fig19.items():
+        peak = max(row["slowdown_pct"] for row in rows)
+        tail = rows[-1]["slowdown_pct"]
+        print(
+            f"Fig19 PARA TRH={int(trh)}: peak {peak:.2f}%, "
+            f"K=100 tail {tail:.2f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

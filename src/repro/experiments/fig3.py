@@ -1,0 +1,45 @@
+"""Figure 3: performance impact of limiting row-open time to tMRO.
+
+Sweeps tMRO over the paper's values for every SPEC and STREAM workload
+(no tracker — this isolates the page-policy effect) and reports
+performance normalized to the unlimited baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .common import SweepRunner, category_geomeans, workload_set
+
+TMRO_VALUES_NS: Sequence[float] = (36.0, 66.0, 96.0, 186.0, 336.0, 636.0)
+
+
+def run(
+    runner: Optional[SweepRunner] = None,
+    tmros_ns: Sequence[float] = TMRO_VALUES_NS,
+    quick: bool = False,
+) -> Dict[float, Dict[str, float]]:
+    """Returns {tmro_ns: {workload or geomean row: normalized perf}}."""
+    runner = runner or SweepRunner()
+    names = workload_set(quick)
+    series: Dict[float, Dict[str, float]] = {}
+    for tmro in tmros_ns:
+        per_workload = {
+            name: runner.speedup(name, None, tmro_ns=tmro) for name in names
+        }
+        series[tmro] = category_geomeans(per_workload, names)
+    return series
+
+
+def main(quick: bool = True) -> None:
+    series = run(quick=quick)
+    workloads = list(next(iter(series.values())))
+    header = ["workload"] + [f"tMRO={t:.0f}ns" for t in series]
+    print("  ".join(header))
+    for name in workloads:
+        row = [f"{series[t][name]:.3f}" for t in series]
+        print(f"{name:>16}  " + "  ".join(row))
+
+
+if __name__ == "__main__":
+    main()

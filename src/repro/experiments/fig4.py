@@ -1,0 +1,54 @@
+"""Figure 4: reduction in tolerated threshold (T*) vs tMRO.
+
+Reports the measured characterization (re-derived from Luo et al.'s
+Table 8) next to the Conservative Linear Model's prediction; the CLM
+must always be at or below the measured T* (it never under-estimates
+damage).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.analysis import (
+    express_relative_threshold_clm,
+    express_relative_threshold_measured,
+)
+from ..core.charge import ALPHA_SHORT
+from ..data.rowpress import FIG4_TMRO_THRESHOLD
+
+
+def run(
+    tmros_ns: Sequence[float] | None = None, alpha: float = ALPHA_SHORT
+) -> List[Dict[str, float]]:
+    """Rows of (tMRO, measured T*, CLM T*)."""
+    if tmros_ns is None:
+        tmros_ns = [point[0] for point in FIG4_TMRO_THRESHOLD]
+    rows = []
+    for tmro in tmros_ns:
+        rows.append(
+            {
+                "tmro_ns": tmro,
+                "relative_threshold_measured": (
+                    express_relative_threshold_measured(tmro)
+                ),
+                "relative_threshold_clm": express_relative_threshold_clm(
+                    tmro, alpha
+                ),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print("tMRO(ns)  T*(measured)  T*(CLM a=0.35)")
+    for row in run():
+        print(
+            f"{row['tmro_ns']:8.0f}  "
+            f"{row['relative_threshold_measured']:12.3f}  "
+            f"{row['relative_threshold_clm']:14.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

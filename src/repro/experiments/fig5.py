@@ -1,0 +1,76 @@
+"""Figure 5: Graphene and PARA under ExPress as tMRO varies.
+
+Each tMRO point runs ExPress with the tracker provisioned for the
+measured T*(tMRO) from Fig 4 (more entries / higher probability at lower
+T*), normalized to the tracker's own no-tMRO baseline.  Reported as
+SPEC/STREAM geometric means like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.analysis import express_relative_threshold_measured
+from ..sim.config import DefenseConfig
+from ..sim.metrics import geomean
+from .common import SweepRunner, spec_of, stream_of, workload_set
+
+TMRO_VALUES_NS: Sequence[float] = (36.0, 66.0, 96.0, 186.0, 336.0, 636.0)
+TRACKERS = ("graphene", "para")
+
+
+def run(
+    runner: Optional[SweepRunner] = None,
+    tmros_ns: Sequence[float] = TMRO_VALUES_NS,
+    trh: float = 4000.0,
+    quick: bool = True,
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """{tracker: {"SPEC"|"STREAM": {tmro or inf(no-tMRO): geomean perf}}}."""
+    runner = runner or SweepRunner()
+    names = workload_set(quick)
+    output: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for tracker in TRACKERS:
+        baseline = DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh)
+        spec_series: Dict[float, float] = {}
+        stream_series: Dict[float, float] = {}
+        points = list(tmros_ns) + [float("inf")]
+        for tmro in points:
+            if tmro == float("inf"):
+                defense = baseline
+                tmro_arg = None
+            else:
+                defense = DefenseConfig(
+                    tracker=tracker,
+                    scheme="express",
+                    trh=trh,
+                    tmro_ns=tmro,
+                    target_scale=express_relative_threshold_measured(tmro),
+                )
+                tmro_arg = tmro
+            per = {
+                name: runner.speedup(name, defense, baseline, tmro_ns=tmro_arg)
+                for name in names
+            }
+            spec_series[tmro] = geomean(
+                [per[n] for n in spec_of(names)]
+            )
+            stream_series[tmro] = geomean(
+                [per[n] for n in stream_of(names)]
+            )
+        output[tracker] = {"SPEC": spec_series, "STREAM": stream_series}
+    return output
+
+
+def main(quick: bool = True) -> None:
+    data = run(quick=quick)
+    for tracker, categories in data.items():
+        for category, series in categories.items():
+            cells = "  ".join(
+                f"{('no-tMRO' if t == float('inf') else f'{t:.0f}ns')}:{v:.3f}"
+                for t, v in series.items()
+            )
+            print(f"{tracker:>8} {category:>6}  {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Figures 6, 7 and 8: the charge-loss model curves.
+
+* Fig 6 — Rowhammer is perfectly linear: K units of loss in K tRC.
+* Fig 7 — long-duration Row-Press TCL of the 21 devices at 1 and 9
+  tREFI, against the Rowhammer line and the alpha = 0.48 CLM cover.
+* Fig 8 — short-duration Row-Press: measured points, least-squares
+  power-law fit, and the conservative alpha = 0.35 CLM line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.charge import (
+    ALPHA_LONG,
+    ALPHA_SHORT,
+    ConservativeLinearModel,
+    fit_clm,
+    fit_power_law,
+    rowhammer_tcl,
+)
+from ..data.rowpress import (
+    NINE_TREFI_TRC,
+    ONE_TREFI_TRC,
+    SHORT_DURATION_POINTS,
+    long_duration_points,
+)
+
+
+def fig6_series(max_acts: int = 10) -> List[Tuple[int, float]]:
+    """The Rowhammer charge-loss staircase: (K, TCL)."""
+    return [(k, rowhammer_tcl(k)) for k in range(1, max_acts + 1)]
+
+
+def fig7_series(
+    times_trc: Sequence[float] = (ONE_TREFI_TRC, NINE_TREFI_TRC),
+) -> Dict[str, object]:
+    """Device scatter plus the RH and CLM(0.48) reference lines."""
+    clm = ConservativeLinearModel(alpha=ALPHA_LONG)
+    points = long_duration_points(times_trc)
+    return {
+        "device_points": points,
+        "rowhammer_line": [(t, float(int(t))) for t in times_trc],
+        "clm_line": [(t, clm.tcl_of_attack_time(t)) for t in times_trc],
+        "clm_alpha": ALPHA_LONG,
+        "fitted_alpha": fit_clm(points).alpha,
+    }
+
+
+def fig8_series() -> Dict[str, object]:
+    """Short-duration data, power-law fit and CLM(0.35)."""
+    points = list(SHORT_DURATION_POINTS)
+    clm = fit_clm(points)
+    power = fit_power_law(points)
+    times = [total for total, _tcl in points]
+    return {
+        "data_points": points,
+        "clm_alpha": clm.alpha,
+        "clm_line": [(t, clm.tcl_of_attack_time(t)) for t in times],
+        "power_fit": (power.a, power.b),
+        "power_line": [(t, power.tcl_of_attack_time(t)) for t in times],
+        "rowhammer_line": [(t, t) for t in times],
+        "paper_alpha": ALPHA_SHORT,
+    }
+
+
+def main() -> None:
+    print("Fig 6 (K, TCL):", fig6_series(6))
+    fig7 = fig7_series()
+    print(
+        f"Fig 7: {len(fig7['device_points'])} device points, "
+        f"fitted alpha={fig7['fitted_alpha']:.3f} "
+        f"(cover alpha={fig7['clm_alpha']})"
+    )
+    fig8 = fig8_series()
+    print(
+        f"Fig 8: CLM alpha={fig8['clm_alpha']:.3f} "
+        f"(paper {fig8['paper_alpha']}), power fit a,b={fig8['power_fit']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Run every experiment and print the paper-vs-measured summary."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import (
+    energy,
+    fig3,
+    fig4,
+    fig5,
+    fig6_7_8,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig18_19,
+    tables,
+)
+from .common import SweepRunner
+
+
+def run_all(quick: bool = True, n_requests: int = 1200) -> Dict[str, object]:
+    """Execute every table/figure experiment; returns raw results."""
+    runner = SweepRunner(n_requests=n_requests)
+    results: Dict[str, object] = {}
+    results["table1"] = tables.table1()
+    results["table2"] = tables.table2()
+    results["table3"] = tables.table3()
+    results["storage"] = tables.storage_comparison()
+    results["fig4"] = fig4.run()
+    results["fig6"] = fig6_7_8.fig6_series()
+    results["fig7"] = fig6_7_8.fig7_series()
+    results["fig8"] = fig6_7_8.fig8_series()
+    results["fig12"] = fig12.run()
+    results["fig18"] = fig18_19.fig18_series()
+    results["fig19"] = fig18_19.fig19_series()
+    results["fig3"] = fig3.run(runner, quick=quick)
+    results["fig5"] = fig5.run(runner, quick=quick)
+    results["fig13"] = fig13.run(runner, quick=quick)
+    results["fig14"] = fig14.run(runner, quick=quick)
+    results["fig15"] = fig15.run(runner, quick=quick)
+    results["fig16"] = fig16.run(runner, quick=quick)
+    results["energy"] = energy.run(runner, quick=quick)
+    return results
+
+
+def main() -> None:
+    for module in (
+        tables, fig4, fig6_7_8, fig12, fig18_19,
+        fig3, fig5, fig13, fig14, fig15, fig16, energy,
+    ):
+        print(f"== {module.__name__.rsplit('.', 1)[-1]} ==")
+        module.main()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Memory controller: request queues, FR-FCFS scheduling, page policy."""
+
+from .controller import (
+    BANK_QUEUE_CAPACITY,
+    VICTIMS_PER_MITIGATION,
+    ChannelController,
+    Completion,
+    ServiceResult,
+)
+from .request import InFlightRequest
+
+__all__ = [
+    "BANK_QUEUE_CAPACITY",
+    "VICTIMS_PER_MITIGATION",
+    "ChannelController",
+    "Completion",
+    "ServiceResult",
+    "InFlightRequest",
+]

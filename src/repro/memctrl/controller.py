@@ -1,0 +1,350 @@
+"""Channel memory controller: queues, FR-FCFS scheduling, page policy.
+
+One :class:`ChannelController` owns the banks of one channel.  The system
+simulator drives it with two calls:
+
+* :meth:`enqueue` — a core's LLC miss arrives;
+* :meth:`service` — the bank is (possibly) free: do the highest-priority
+  piece of work and report when to look again and which requests finished.
+
+Scheduling priority per bank (Section III and the baseline of Table II):
+
+1. refresh, once a REF pulse is due (closes the open row);
+2. RFM, when the bank's activation count reaches RFMTH (in-DRAM
+   tracker configurations only) — the in-DRAM tracker mitigates under it;
+3. pending mitigative victim refreshes requested by an MC-based tracker;
+4. tMRO expiry (ExPress): force-close a row open too long;
+5. demand requests, row hits first (FR-FCFS), then oldest-first.
+
+Every row closure is reported to the mitigation scheme, which is how
+ImPress-N earns its window credits and ImPress-P its EACT records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.mitigation import MitigationScheme
+from ..dram.bank import Bank
+from ..dram.commands import CommandCounts
+from ..dram.refresh import RefreshScheduler
+from ..dram.timing import CycleTimings
+from .request import InFlightRequest
+
+#: Demand-queue capacity per bank; cores back off when it fills.
+BANK_QUEUE_CAPACITY = 16
+
+#: Victim refreshes per mitigation: blast radius 2 -> 4 rows, each an
+#: ACT + PRE taking one tRC (Appendix B's 4-activation mitigation cost).
+VICTIMS_PER_MITIGATION = 4
+
+
+@dataclass
+class Completion:
+    """A demand request finished: data back at ``cycle`` for ``core_id``."""
+
+    cycle: int
+    core_id: int
+    is_write: bool
+
+
+@dataclass
+class ServiceResult:
+    """What a service step did and when the bank needs attention next."""
+
+    next_wake: Optional[int] = None
+    completions: List[Completion] = field(default_factory=list)
+    worked: bool = False
+
+
+@dataclass
+class BankBookkeeping:
+    """Controller-side per-bank state beyond the DRAM bank itself."""
+
+    queue: List[InFlightRequest] = field(default_factory=list)
+    pending_mitigations: int = 0      # aggressors awaiting victim refresh
+    acts_since_rfm: int = 0
+    busy_until: int = 0
+    act_cycle: int = -1               # when the open row was activated
+    columns_since_act: int = 0        # MOP burst accounting
+    last_use: int = 0                 # last ACT or column issue
+
+
+class ChannelController:
+    """Memory controller for one channel."""
+
+    def __init__(
+        self,
+        timings: CycleTimings,
+        num_banks: int,
+        scheme: MitigationScheme,
+        use_rfm: bool = False,
+        rfmth: int = 80,
+        tmro_cycles: Optional[int] = None,
+        mop_burst_lines: Optional[int] = 8,
+        idle_close_cycles: Optional[int] = 400,
+    ) -> None:
+        if num_banks < 1:
+            raise ValueError("num_banks must be positive")
+        self.timings = timings
+        self.num_banks = num_banks
+        self.scheme = scheme
+        self.use_rfm = use_rfm
+        self.rfmth = rfmth
+        # ExPress publishes its limit through the scheme; an explicit
+        # tmro_cycles argument overrides (used in tMRO sweeps, Fig 3).
+        self.tmro_cycles = (
+            tmro_cycles if tmro_cycles is not None else scheme.tmro_cycles()
+        )
+        self.mop_burst_lines = mop_burst_lines
+        self.idle_close_cycles = idle_close_cycles
+        self.banks = [Bank(timings=timings, bank_id=i) for i in range(num_banks)]
+        stagger = max(1, timings.tREFI // num_banks)
+        self.refresh = [
+            RefreshScheduler(timings, phase_offset=i * stagger)
+            for i in range(num_banks)
+        ]
+        self.state = [BankBookkeeping() for _ in range(num_banks)]
+        self.counts = CommandCounts()
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.rfm_mitigations = 0
+        self.tmro_closures = 0
+
+    # -- demand arrival ------------------------------------------------
+
+    def can_accept(self, bank_id: int) -> bool:
+        return len(self.state[bank_id].queue) < BANK_QUEUE_CAPACITY
+
+    def enqueue(self, request: InFlightRequest) -> None:
+        bank_id = request.mapped.bank
+        if not self.can_accept(bank_id):
+            raise RuntimeError(f"bank {bank_id} queue full")
+        self.state[bank_id].queue.append(request)
+
+    def pending_requests(self, bank_id: int) -> int:
+        return len(self.state[bank_id].queue)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _close_row(self, bank_id: int, cycle: int) -> int:
+        """Precharge the open row; feeds the scheme.  Returns PRE cycle."""
+        bank = self.banks[bank_id]
+        book = self.state[bank_id]
+        pre_cycle = max(cycle, bank.earliest_pre())
+        row = bank.open_row
+        bank.precharge(pre_cycle)
+        self.counts.precharges += 1
+        mitigations = self.scheme.on_row_closed(
+            bank_id, row, book.act_cycle, pre_cycle
+        )
+        book.pending_mitigations += len(mitigations)
+        return pre_cycle
+
+    def _activate(self, bank_id: int, row: int, cycle: int,
+                  mitigative: bool = False) -> int:
+        bank = self.banks[bank_id]
+        book = self.state[bank_id]
+        act_cycle = max(cycle, bank.earliest_act())
+        bank.activate(row, act_cycle)
+        book.act_cycle = act_cycle
+        book.acts_since_rfm += 1
+        if mitigative:
+            self.counts.mitigative_acts += 1
+        else:
+            self.counts.demand_acts += 1
+            mitigations = self.scheme.on_activate(bank_id, row, act_cycle)
+            book.pending_mitigations += len(mitigations)
+        return act_cycle
+
+    def _tmro_expired(self, bank_id: int, cycle: int) -> bool:
+        bank = self.banks[bank_id]
+        book = self.state[bank_id]
+        return (
+            self.tmro_cycles is not None
+            and bank.is_open
+            and cycle - book.act_cycle >= self.tmro_cycles
+        )
+
+    # -- the scheduling step ---------------------------------------------
+
+    def service(self, bank_id: int, cycle: int) -> ServiceResult:
+        """Do one piece of work on the bank at ``cycle``."""
+        book = self.state[bank_id]
+        bank = self.banks[bank_id]
+        if book.busy_until > cycle:
+            return ServiceResult(next_wake=book.busy_until)
+
+        # 1. Refresh.
+        refresh = self.refresh[bank_id]
+        if refresh.due(cycle):
+            start = cycle
+            if bank.is_open:
+                start = self._close_row(bank_id, cycle) + self.timings.tPRE
+            start = max(start, bank.earliest_act())
+            done = bank.refresh(start)
+            refresh.issue(start)
+            self.counts.refreshes += 1
+            book.busy_until = done
+            return ServiceResult(next_wake=done, worked=True)
+
+        # 2. RFM (in-DRAM tracker configurations).
+        if self.use_rfm and book.acts_since_rfm >= self.rfmth:
+            start = cycle
+            if bank.is_open:
+                start = self._close_row(bank_id, cycle) + self.timings.tPRE
+            start = max(start, bank.earliest_act())
+            done = start + self.timings.tRFM
+            # RFM blocks the bank; in-DRAM mitigation happens within it.
+            bank_rfm_done = bank.rfm(start)
+            done = max(done, bank_rfm_done)
+            book.acts_since_rfm = 0
+            self.counts.rfms += 1
+            if self.scheme.on_rfm(bank_id, start) is not None:
+                self.rfm_mitigations += 1
+            book.busy_until = done
+            return ServiceResult(next_wake=done, worked=True)
+
+        # 3. Mitigative victim refreshes (MC-based trackers).
+        if book.pending_mitigations > 0:
+            start = cycle
+            if bank.is_open:
+                start = self._close_row(bank_id, cycle) + self.timings.tPRE
+            start = max(start, bank.earliest_act())
+            # Four victims, each ACT + PRE back to back (one tRC apiece);
+            # modeled as a block without opening a demand-visible row.
+            done = start + VICTIMS_PER_MITIGATION * self.timings.tRC
+            self.counts.mitigative_acts += VICTIMS_PER_MITIGATION
+            self.counts.precharges += VICTIMS_PER_MITIGATION
+            book.pending_mitigations -= 1
+            book.busy_until = done
+            # Keep the bank's ACT clock coherent for the next demand ACT.
+            bank.block_until(done)
+            return ServiceResult(next_wake=done, worked=True)
+
+        # 4. tMRO expiry (ExPress / tMRO sweeps).
+        if self._tmro_expired(bank_id, cycle):
+            pre_cycle = self._close_row(bank_id, cycle)
+            self.tmro_closures += 1
+            book.busy_until = pre_cycle + self.timings.tPRE
+            return ServiceResult(next_wake=book.busy_until, worked=True)
+
+        # 5. Demand requests, hits first.
+        result = self._serve_demand(bank_id, cycle)
+        if result is not None:
+            return result
+
+        # 6. Idle precharge: close a row nobody is hitting.
+        if (
+            self.idle_close_cycles is not None
+            and bank.is_open
+            and not book.queue
+            and cycle - book.last_use >= self.idle_close_cycles
+        ):
+            pre_cycle = self._close_row(bank_id, cycle)
+            book.busy_until = pre_cycle + self.timings.tPRE
+            return ServiceResult(next_wake=book.busy_until, worked=True)
+
+        # Nothing to do: wake for refresh, tMRO expiry or idle close.
+        wake = refresh.next_due
+        if bank.is_open:
+            if self.tmro_cycles is not None:
+                wake = min(wake, book.act_cycle + self.tmro_cycles)
+            if self.idle_close_cycles is not None and not book.queue:
+                wake = min(wake, book.last_use + self.idle_close_cycles)
+        return ServiceResult(next_wake=wake)
+
+    def _serve_demand(
+        self, bank_id: int, cycle: int
+    ) -> Optional[ServiceResult]:
+        book = self.state[bank_id]
+        bank = self.banks[bank_id]
+        if not book.queue:
+            return None
+        request: Optional[InFlightRequest] = None
+        if bank.is_open:
+            for queued in book.queue:
+                if queued.row == bank.open_row:
+                    request = queued
+                    break
+        if request is not None:
+            # Row hit: column access only.
+            self.row_hits += 1
+            book.queue.remove(request)
+            col_cycle = max(cycle, bank.earliest_col())
+            data_cycle = bank.column_access(col_cycle)
+            self._count_column(request)
+            book.busy_until = col_cycle + self.timings.tCCD
+            book.last_use = col_cycle
+            book.columns_since_act += 1
+            self._maybe_mop_close(bank_id, col_cycle)
+            done_cycle = col_cycle if request.is_write else data_cycle
+            return ServiceResult(
+                next_wake=book.busy_until,
+                completions=[
+                    Completion(done_cycle, request.core_id, request.is_write)
+                ],
+                worked=True,
+            )
+        # Oldest request: conflict (open other row) or miss (closed).
+        request = book.queue.pop(0)
+        start = cycle
+        if bank.is_open:
+            self.row_conflicts += 1
+            start = self._close_row(bank_id, cycle) + self.timings.tPRE
+        else:
+            self.row_misses += 1
+        act_cycle = self._activate(bank_id, request.row, start)
+        col_cycle = max(act_cycle + self.timings.tRCD, bank.earliest_col())
+        data_cycle = bank.column_access(col_cycle)
+        self._count_column(request)
+        book.busy_until = col_cycle + self.timings.tCCD
+        book.last_use = col_cycle
+        book.columns_since_act = 1
+        self._maybe_mop_close(bank_id, col_cycle)
+        done_cycle = col_cycle if request.is_write else data_cycle
+        return ServiceResult(
+            next_wake=book.busy_until,
+            completions=[
+                Completion(done_cycle, request.core_id, request.is_write)
+            ],
+            worked=True,
+        )
+
+    def _maybe_mop_close(self, bank_id: int, col_cycle: int) -> None:
+        """MOP auto-precharge once the row-group burst is exhausted.
+
+        Only the configured number of consecutive lines map to the row,
+        so the controller closes it as soon as they have all been served
+        (Minimalist Open Page, Table II).
+        """
+        book = self.state[bank_id]
+        if (
+            self.mop_burst_lines is not None
+            and self.banks[bank_id].is_open
+            and book.columns_since_act >= self.mop_burst_lines
+        ):
+            pre_cycle = self._close_row(bank_id, col_cycle)
+            book.busy_until = max(
+                book.busy_until, pre_cycle + self.timings.tPRE
+            )
+
+    def _count_column(self, request: InFlightRequest) -> None:
+        if request.is_write:
+            self.counts.writes += 1
+        else:
+            self.counts.reads += 1
+
+    # -- wrap-up -----------------------------------------------------------
+
+    def flush_open_rows(self, cycle: int) -> None:
+        """Close every open row at simulation end so EACTs are recorded."""
+        for bank_id, bank in enumerate(self.banks):
+            if bank.is_open:
+                self._close_row(bank_id, max(cycle, bank.earliest_pre()))
+
+    def hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0

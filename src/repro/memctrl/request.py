@@ -1,0 +1,21 @@
+"""In-flight memory requests as seen by the controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.address import MappedAddress
+
+
+@dataclass
+class InFlightRequest:
+    """One demand request queued at a bank."""
+
+    core_id: int
+    mapped: MappedAddress
+    is_write: bool
+    enqueue_cycle: int
+
+    @property
+    def row(self) -> int:
+        return self.mapped.row

@@ -1,0 +1,22 @@
+"""Security analysis: charge accounting, T* verification, attack replay."""
+
+from .charge_account import VictimChargeState, access_tcl, pattern_tcl
+from .simulation import SecurityOutcome, run_security_simulation
+from .verifier import (
+    PatternResult,
+    ThresholdReport,
+    effective_threshold,
+    replay_pattern,
+)
+
+__all__ = [
+    "VictimChargeState",
+    "access_tcl",
+    "pattern_tcl",
+    "SecurityOutcome",
+    "run_security_simulation",
+    "PatternResult",
+    "ThresholdReport",
+    "effective_threshold",
+    "replay_pattern",
+]

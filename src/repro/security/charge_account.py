@@ -1,0 +1,82 @@
+"""Charge accounting: the ground truth the security verifier checks against.
+
+Applies the Unified Charge-Loss Model to a stream of timed accesses and
+tracks per-victim accumulated charge loss, including the effect of
+mitigative refreshes (which restore the victims' charge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..core.charge import ConservativeLinearModel
+from ..dram.device import BLAST_RADIUS, victim_rows
+from ..dram.timing import CycleTimings
+from ..workloads.attacks import TimedAccess
+
+
+def access_tcl(
+    access: TimedAccess, alpha: float, timings: CycleTimings
+) -> float:
+    """True charge loss one access inflicts on its neighbors (Eq 3)."""
+    model = ConservativeLinearModel(
+        alpha=alpha,
+        tras_trc=timings.tRAS / timings.tRC,
+        tpre_trc=timings.tPRE / timings.tRC,
+    )
+    return model.tcl_of_open_time(access.open_cycles() / timings.tRC)
+
+
+def pattern_tcl(
+    accesses: Iterable[TimedAccess],
+    row: int,
+    alpha: float,
+    timings: CycleTimings,
+) -> float:
+    """Total charge loss ``row``'s neighbors suffer from a pattern."""
+    return sum(
+        access_tcl(access, alpha, timings)
+        for access in accesses
+        if access.row == row
+    )
+
+
+@dataclass
+class VictimChargeState:
+    """Per-victim accumulated charge loss with mitigation resets.
+
+    Damage from an aggressor applies to its immediately adjacent rows;
+    a mitigation on an aggressor refreshes victims within the blast
+    radius (2 rows each side), restoring their charge.  A bit flip occurs
+    when any victim's accumulated loss reaches the critical value (TRH
+    units, by the normalization of Section IV-A).
+    """
+
+    alpha: float
+    timings: CycleTimings
+    charge: Dict[int, float] = field(default_factory=dict)
+    peak_charge: float = 0.0
+
+    def apply_access(self, access: TimedAccess) -> None:
+        damage = access_tcl(access, self.alpha, self.timings)
+        for victim in (access.row - 1, access.row + 1):
+            if victim < 0:
+                continue
+            updated = self.charge.get(victim, 0.0) + damage
+            self.charge[victim] = updated
+            self.peak_charge = max(self.peak_charge, updated)
+
+    def apply_mitigation(self, aggressor: int) -> List[int]:
+        """Refresh the aggressor's victims; returns the refreshed rows."""
+        refreshed = victim_rows(aggressor, BLAST_RADIUS)
+        for victim in refreshed:
+            self.charge[victim] = 0.0
+        return refreshed
+
+    def max_charge(self) -> float:
+        return max(self.charge.values(), default=0.0)
+
+    def flipped(self, trh: float) -> bool:
+        """True if some victim ever reached the critical charge."""
+        return self.peak_charge >= trh

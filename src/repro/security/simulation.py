@@ -1,0 +1,86 @@
+"""End-to-end security simulation: pattern vs defense vs victim charge.
+
+Replays an attack pattern through a real tracker (not just an accounting
+stub), applies the unified charge model to the victims, and lets
+mitigations restore their charge.  The outcome — peak victim charge
+relative to the critical value — answers the threat model's question
+directly: did the attacker flip a bit anywhere?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..core.mitigation import MitigationScheme
+from ..dram.timing import CycleTimings
+from ..workloads.attacks import TimedAccess
+from .charge_account import VictimChargeState
+
+
+@dataclass(frozen=True)
+class SecurityOutcome:
+    """Result of one attack replay."""
+
+    peak_charge: float
+    trh: float
+    mitigations: int
+    rfms: int
+
+    @property
+    def flipped(self) -> bool:
+        return self.peak_charge >= self.trh
+
+    @property
+    def margin(self) -> float:
+        """Fraction of the critical charge the attacker reached."""
+        return self.peak_charge / self.trh
+
+
+def run_security_simulation(
+    scheme: MitigationScheme,
+    accesses: Iterable[TimedAccess],
+    trh: float,
+    alpha: float,
+    timings: CycleTimings,
+    rfmth: Optional[int] = None,
+    bank: int = 0,
+) -> SecurityOutcome:
+    """Replay ``accesses`` against the scheme's tracker.
+
+    ``rfmth`` enables RFM delivery for in-DRAM trackers: an RFM is
+    issued to the bank after every ``rfmth`` activations, and whatever
+    row the tracker nominates gets mitigated.
+    """
+    state = VictimChargeState(alpha=alpha, timings=timings)
+    tracker = scheme.tracker_for(bank)
+    mitigation_count = 0
+    rfm_count = 0
+    acts_since_rfm = 0
+    for access in accesses:
+        aggressors = list(
+            scheme.on_activate(bank, access.row, access.act_cycle)
+        )
+        state.apply_access(access)
+        aggressors.extend(
+            scheme.on_row_closed(
+                bank, access.row, access.act_cycle, access.close_cycle
+            )
+        )
+        for aggressor in aggressors:
+            state.apply_mitigation(aggressor)
+            mitigation_count += 1
+        acts_since_rfm += 1
+        if tracker.in_dram and rfmth and acts_since_rfm >= rfmth:
+            acts_since_rfm = 0
+            rfm_count += 1
+            nominated = scheme.on_rfm(bank, access.close_cycle)
+            if nominated is not None:
+                state.apply_mitigation(nominated)
+                mitigation_count += 1
+    return SecurityOutcome(
+        peak_charge=state.peak_charge,
+        trh=trh,
+        mitigations=mitigation_count,
+        rfms=rfm_count,
+    )

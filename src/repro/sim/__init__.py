@@ -1,0 +1,36 @@
+"""System simulation: configs, cores, event loop, stats, metrics."""
+
+from .config import (
+    DEFAULT_EXPRESS_TMRO_NS,
+    SCHEME_NAMES,
+    TRACKER_NAMES,
+    DefenseConfig,
+    SystemConfig,
+)
+from .core import CoreState
+from .metrics import (
+    geomean,
+    geomean_over_workloads,
+    normalized_weighted_speedup,
+    relative_acts,
+)
+from .stats import EnergyBreakdown, SimResult, energy_of
+from .system import SystemSimulator, simulate_workload
+
+__all__ = [
+    "DEFAULT_EXPRESS_TMRO_NS",
+    "SCHEME_NAMES",
+    "TRACKER_NAMES",
+    "DefenseConfig",
+    "SystemConfig",
+    "CoreState",
+    "geomean",
+    "geomean_over_workloads",
+    "normalized_weighted_speedup",
+    "relative_acts",
+    "EnergyBreakdown",
+    "SimResult",
+    "energy_of",
+    "SystemSimulator",
+    "simulate_workload",
+]

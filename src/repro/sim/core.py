@@ -1,0 +1,56 @@
+"""Trace-driven core model.
+
+Each core replays its LLC-miss trace with a bounded number of
+outstanding misses (the MLP the ROB can expose) and per-request think
+time.  This is the DESIGN.md substitution for the paper's cycle-level
+out-of-order cores: the DRAM-side phenomena under study depend on the
+arrival structure the trace encodes, not on in-core microarchitecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..workloads.trace import Trace
+
+
+@dataclass
+class CoreState:
+    """Issue/retire bookkeeping for one core."""
+
+    core_id: int
+    trace: Trace
+    mlp: int = 8
+    index: int = 0
+    outstanding: int = 0
+    retired: int = 0
+    stalled_on_mlp: bool = False
+    finish_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mlp < 1:
+            raise ValueError("mlp must be positive")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.trace)
+
+    @property
+    def done(self) -> bool:
+        return self.exhausted and self.outstanding == 0
+
+    def can_issue(self) -> bool:
+        return not self.exhausted and self.outstanding < self.mlp
+
+    def issue(self) -> None:
+        self.index += 1
+        self.outstanding += 1
+
+    def retire(self, cycle: int) -> None:
+        if self.outstanding <= 0:
+            raise RuntimeError("retire with no outstanding request")
+        self.outstanding -= 1
+        self.retired += 1
+        if self.done:
+            self.finish_cycle = cycle

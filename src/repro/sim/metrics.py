@@ -1,0 +1,55 @@
+"""Performance metrics: weighted speedup and geometric means."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+from .stats import SimResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; every value must be positive."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def normalized_weighted_speedup(
+    result: SimResult, baseline: SimResult
+) -> float:
+    """Per-core rate relative to the baseline run, averaged (Section III-A).
+
+    In rate mode every core runs the same trace, so this is the paper's
+    normalized weighted speedup with the baseline's own cores as the
+    single-program reference.
+    """
+    rates = result.core_rates()
+    base_rates = baseline.core_rates()
+    if len(rates) != len(base_rates):
+        raise ValueError("core counts differ between runs")
+    ratios = [
+        rate / base if base > 0 else 0.0
+        for rate, base in zip(rates, base_rates)
+    ]
+    return sum(ratios) / len(ratios)
+
+
+def geomean_over_workloads(per_workload: Dict[str, float]) -> float:
+    return geomean(per_workload.values())
+
+
+def relative_acts(result: SimResult, baseline: SimResult) -> Dict[str, float]:
+    """Demand / mitigative ACTs normalized to the baseline's total ACTs
+    (the Fig 14 metric)."""
+    base_total = baseline.counts.total_acts
+    if base_total == 0:
+        raise ValueError("baseline performed no activations")
+    return {
+        "demand": result.counts.demand_acts / base_total,
+        "mitigative": result.counts.mitigative_acts / base_total,
+        "total": result.counts.total_acts / base_total,
+    }

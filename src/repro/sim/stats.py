@@ -1,0 +1,87 @@
+"""Simulation statistics and the DRAM energy model (Section VI-E)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..dram.commands import CommandCounts
+
+#: Energy-model constants in abstract units, calibrated so activations
+#: account for roughly 11% of baseline DRAM energy on the mixed workload
+#: set (Section VI-E).  E_ACT covers an ACT+PRE pair; E_COL one burst;
+#: P_BG is channel background power per DRAM cycle.
+E_ACT = 1.0
+E_COL = 0.9
+P_BG_PER_CYCLE = 0.2
+E_REF = 6.0
+E_RFM = 3.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """DRAM energy split by source."""
+
+    activation: float
+    column: float
+    background: float
+    refresh: float
+
+    @property
+    def total(self) -> float:
+        return self.activation + self.column + self.background + self.refresh
+
+    @property
+    def activation_share(self) -> float:
+        return self.activation / self.total if self.total else 0.0
+
+
+def energy_of(counts: CommandCounts, elapsed_cycles: int) -> EnergyBreakdown:
+    """Apply the calibrated energy model to a run's command counts."""
+    return EnergyBreakdown(
+        activation=E_ACT * counts.total_acts,
+        column=E_COL * (counts.reads + counts.writes),
+        background=P_BG_PER_CYCLE * elapsed_cycles,
+        refresh=E_REF * counts.refreshes + E_RFM * counts.rfms,
+    )
+
+
+@dataclass
+class SimResult:
+    """Outcome of one system simulation."""
+
+    elapsed_cycles: int
+    core_cycles: List[int]            # per-core finish cycle
+    core_requests: List[int]          # per-core retired requests
+    counts: CommandCounts = field(default_factory=CommandCounts)
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    rfm_mitigations: int = 0
+    tmro_closures: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+    def core_rates(self) -> List[float]:
+        """Per-core throughput (requests per cycle)."""
+        return [
+            requests / cycles if cycles else 0.0
+            for requests, cycles in zip(self.core_requests, self.core_cycles)
+        ]
+
+    def energy(self) -> EnergyBreakdown:
+        return energy_of(self.counts, self.elapsed_cycles)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "elapsed_cycles": float(self.elapsed_cycles),
+            "hit_rate": self.hit_rate,
+            "demand_acts": float(self.counts.demand_acts),
+            "mitigative_acts": float(self.counts.mitigative_acts),
+            "refreshes": float(self.counts.refreshes),
+            "rfms": float(self.counts.rfms),
+            "energy": self.energy().total,
+        }

@@ -1,0 +1,69 @@
+"""Rowhammer trackers: Graphene, PARA (MC-based); Mithril, MINT (in-DRAM)."""
+
+from .base import AccountingTracker, Tracker
+from .dsac import (
+    DsacLikeTracker,
+    dsac_weight,
+    impress_weight,
+    underestimation_factor,
+)
+from .graphene import GrapheneTracker
+from .prac import DEFAULT_ROWS_PER_BANK, PracTracker
+from .mint import (
+    MINT_THRESHOLD_PER_RFMTH,
+    MintTracker,
+    mint_rfmth_for_threshold,
+    mint_tolerated_threshold,
+)
+from .mithril import MithrilTracker
+from .para import (
+    PAPER_ESCAPE_PROBABILITY,
+    ParaTracker,
+    para_failure_probability,
+    para_probability,
+)
+from .sizing import (
+    StorageEstimate,
+    counter_bits,
+    graphene_entries,
+    graphene_internal_threshold,
+    graphene_storage,
+    impress_n_storage_bytes,
+    impress_p_timer_bits,
+    mint_storage_bytes,
+    mithril_entries,
+    mithril_storage,
+    mithril_tolerated_threshold,
+)
+
+__all__ = [
+    "AccountingTracker",
+    "Tracker",
+    "DsacLikeTracker",
+    "dsac_weight",
+    "impress_weight",
+    "underestimation_factor",
+    "GrapheneTracker",
+    "DEFAULT_ROWS_PER_BANK",
+    "PracTracker",
+    "MINT_THRESHOLD_PER_RFMTH",
+    "MintTracker",
+    "mint_rfmth_for_threshold",
+    "mint_tolerated_threshold",
+    "MithrilTracker",
+    "PAPER_ESCAPE_PROBABILITY",
+    "ParaTracker",
+    "para_failure_probability",
+    "para_probability",
+    "StorageEstimate",
+    "counter_bits",
+    "graphene_entries",
+    "graphene_internal_threshold",
+    "graphene_storage",
+    "impress_n_storage_bytes",
+    "impress_p_timer_bits",
+    "mint_storage_bytes",
+    "mithril_entries",
+    "mithril_storage",
+    "mithril_tolerated_threshold",
+]

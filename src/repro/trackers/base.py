@@ -1,0 +1,68 @@
+"""Common interface for Rowhammer trackers.
+
+A tracker observes activations — possibly fractional, once ImPress-P
+converts row-open time into EACT — and decides which aggressor rows to
+mitigate.  Memory-controller-based trackers (Graphene, PARA) return
+mitigations synchronously from :meth:`Tracker.record`; in-DRAM trackers
+(Mithril, MINT) accumulate state and mitigate only when the controller
+issues an RFM command (:meth:`Tracker.on_rfm`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Tracker(abc.ABC):
+    """Abstract aggressor-row tracker."""
+
+    #: True for trackers that live inside the DRAM chip and mitigate
+    #: under RFM; False for memory-controller-based trackers.
+    in_dram: bool = False
+
+    @abc.abstractmethod
+    def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        """Observe ``weight`` (E)ACTs on ``row``.
+
+        Returns the aggressor rows that must be mitigated immediately
+        (always empty for in-DRAM trackers).
+        """
+
+    def on_rfm(self, cycle: int = 0) -> Optional[int]:
+        """Called when an RFM command arrives (in-DRAM trackers only).
+
+        Returns the aggressor row to mitigate under this RFM, or None.
+        """
+        return None
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Clear all tracking state (e.g. at the refresh window boundary)."""
+
+
+@dataclass
+class AccountingTracker(Tracker):
+    """A tracker that only records: per-row accumulated (E)ACT weight.
+
+    Used by the security verifier to measure how much damage a defense
+    *credits* to a row, which is then compared against the true charge
+    loss from the unified model.  It never mitigates.
+    """
+
+    in_dram: bool = False
+    recorded: Dict[int, float] = field(default_factory=dict)
+    total: float = 0.0
+
+    def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        self.recorded[row] = self.recorded.get(row, 0.0) + weight
+        self.total += weight
+        return []
+
+    def recorded_for(self, row: int) -> float:
+        return self.recorded.get(row, 0.0)
+
+    def reset(self) -> None:
+        self.recorded.clear()
+        self.total = 0.0

@@ -1,0 +1,131 @@
+"""Graphene: Misra-Gries counter tracking at the memory controller.
+
+Graphene (Park et al., MICRO 2020) keeps a Misra-Gries frequent-items
+summary per bank: a fixed table of (row, counter) entries plus a spillover
+counter.  Any row whose true activation count exceeds the spillover is
+guaranteed to be tracked; a mitigation (victim refresh) is issued when an
+entry's counter reaches the internal threshold, after which that counter
+resets.  The number of entries required is inversely proportional to the
+threshold (Section III-B of the ImPress paper).
+
+For ImPress-P the counters carry fractional EACT bits: ``record`` accepts
+non-integer weights and the counters accumulate them in fixed point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from .base import Tracker
+
+
+class GrapheneTracker(Tracker):
+    """Per-bank Graphene instance.
+
+    Parameters
+    ----------
+    entries:
+        Misra-Gries table size (448 per bank for TRH = 4K, Table in
+        Section III-B; double that for ExPress / ImPress-N at alpha = 1).
+    internal_threshold:
+        Counter value at which a mitigation fires (1333 for TRH = 4K).
+    fraction_bits:
+        Fixed-point fractional bits for EACT support (0 for the classic
+        integer design, 7 for ImPress-P's default).
+    """
+
+    in_dram = False
+
+    def __init__(
+        self,
+        entries: int,
+        internal_threshold: float,
+        fraction_bits: int = 0,
+    ) -> None:
+        if entries < 1:
+            raise ValueError("entries must be positive")
+        if internal_threshold <= 0:
+            raise ValueError("internal_threshold must be positive")
+        if fraction_bits < 0:
+            raise ValueError("fraction_bits must be non-negative")
+        self.entries = entries
+        self.fraction_bits = fraction_bits
+        self._scale = 1 << fraction_bits
+        self._threshold_raw = int(internal_threshold * self._scale)
+        self._table: Dict[int, int] = {}
+        self._spill = 0
+        # Lazy min-heap of (count_at_push, row); stale entries are
+        # discarded on pop.  Keeps eviction O(log n) amortized.
+        self._heap: List[Tuple[int, int]] = []
+        self.mitigations = 0
+
+    @property
+    def internal_threshold(self) -> float:
+        return self._threshold_raw / self._scale
+
+    @property
+    def spillover(self) -> float:
+        return self._spill / self._scale
+
+    def count_for(self, row: int) -> float:
+        return self._table.get(row, 0) / self._scale
+
+    def _quantize(self, weight: float) -> int:
+        raw = int(weight * self._scale)
+        if raw < 0:
+            raise ValueError("weight must be non-negative")
+        return raw
+
+    def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        raw = self._quantize(weight)
+        if raw == 0:
+            return []
+        count = self._table.get(row)
+        if count is not None:
+            count += raw
+            self._table[row] = count
+        elif len(self._table) < self.entries:
+            count = self._spill + raw
+            self._table[row] = count
+            heapq.heappush(self._heap, (count, row))
+        else:
+            self._spill += raw
+            count = self._maybe_swap_in(row)
+            if count is None:
+                return []
+        if count >= self._threshold_raw:
+            self._table[row] = 0
+            heapq.heappush(self._heap, (0, row))
+            self.mitigations += 1
+            return [row]
+        return []
+
+    def _maybe_swap_in(self, row: int) -> int | None:
+        """Misra-Gries swap: if spill caught up with the minimum entry,
+        evict that entry and install ``row`` with the spill count."""
+        while self._heap:
+            count, candidate = self._heap[0]
+            current = self._table.get(candidate)
+            if current is None or current != count:
+                heapq.heappop(self._heap)
+                if current is not None:
+                    heapq.heappush(self._heap, (current, candidate))
+                continue
+            if self._spill >= count:
+                heapq.heappop(self._heap)
+                del self._table[candidate]
+                new_count = self._spill
+                self._table[row] = new_count
+                heapq.heappush(self._heap, (new_count, row))
+                return new_count
+            return None
+        return None
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._heap.clear()
+        self._spill = 0
+
+    def tracked_rows(self) -> List[int]:
+        return list(self._table)

@@ -1,0 +1,116 @@
+"""Mithril: in-DRAM counter-based summary tracking under RFM.
+
+Mithril (Kim et al., HPCA 2022) keeps a Counter-based Summary (a
+Misra-Gries-style table) inside the DRAM chip.  The memory controller
+issues an RFM command every ``RFMTH`` activations per bank; under each
+RFM, Mithril mitigates the row with the highest counter and resets that
+counter to the current spillover floor.  Because mitigation happens under
+RFM, the access pattern cannot change Mithril's performance cost
+(Appendix B of the ImPress paper).
+
+For ImPress-P, each counter is widened by 7 fractional bits and
+incremented by EACT instead of 1 (Section VI-C).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from .base import Tracker
+
+
+class MithrilTracker(Tracker):
+    """Per-bank Mithril instance (in-DRAM)."""
+
+    in_dram = True
+
+    def __init__(self, entries: int, fraction_bits: int = 0) -> None:
+        if entries < 1:
+            raise ValueError("entries must be positive")
+        if fraction_bits < 0:
+            raise ValueError("fraction_bits must be non-negative")
+        self.entries = entries
+        self.fraction_bits = fraction_bits
+        self._scale = 1 << fraction_bits
+        self._table: Dict[int, int] = {}
+        self._spill = 0
+        # Lazy max-heap (negated counts) for top-row retrieval at RFM and
+        # lazy min-heap for Misra-Gries eviction; stale entries are
+        # discarded on pop so both stay O(log n) amortized.
+        self._heap: List[Tuple[int, int]] = []
+        self._min_heap: List[Tuple[int, int]] = []
+        self.mitigations = 0
+
+    def count_for(self, row: int) -> float:
+        return self._table.get(row, 0) / self._scale
+
+    @property
+    def spillover(self) -> float:
+        return self._spill / self._scale
+
+    def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        raw = int(weight * self._scale)
+        if raw < 0:
+            raise ValueError("weight must be non-negative")
+        if raw == 0:
+            return []
+        count = self._table.get(row)
+        if count is not None:
+            count += raw
+            self._table[row] = count
+            heapq.heappush(self._heap, (-count, row))
+            heapq.heappush(self._min_heap, (count, row))
+        elif len(self._table) < self.entries:
+            count = self._spill + raw
+            self._table[row] = count
+            heapq.heappush(self._heap, (-count, row))
+            heapq.heappush(self._min_heap, (count, row))
+        else:
+            self._spill += raw
+            self._swap_if_caught_up(row)
+        return []
+
+    def _swap_if_caught_up(self, row: int) -> None:
+        """Evict the minimum entry once spillover reaches it (Misra-Gries)."""
+        while self._min_heap:
+            count, candidate = self._min_heap[0]
+            current = self._table.get(candidate)
+            if current is None or current != count:
+                heapq.heappop(self._min_heap)
+                if current is not None:
+                    heapq.heappush(self._min_heap, (current, candidate))
+                continue
+            if self._spill >= count:
+                heapq.heappop(self._min_heap)
+                del self._table[candidate]
+                self._table[row] = self._spill
+                heapq.heappush(self._heap, (-self._spill, row))
+                heapq.heappush(self._min_heap, (self._spill, row))
+            return
+
+    def on_rfm(self, cycle: int = 0) -> Optional[int]:
+        """Mitigate the hottest tracked row; reset it to the spill floor."""
+        while self._heap:
+            neg_count, row = self._heap[0]
+            current = self._table.get(row)
+            if current is None or current != -neg_count:
+                heapq.heappop(self._heap)
+                continue
+            heapq.heappop(self._heap)
+            self._table[row] = self._spill
+            heapq.heappush(self._heap, (-self._spill, row))
+            heapq.heappush(self._min_heap, (self._spill, row))
+            self.mitigations += 1
+            return row
+        return None
+
+    def record_batch(self, rows: List[int]) -> None:
+        for row in rows:
+            self.record(row)
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._heap.clear()
+        self._min_heap.clear()
+        self._spill = 0

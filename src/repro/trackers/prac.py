@@ -1,0 +1,92 @@
+"""PRAC: Per-Row Activation Counting (JESD79-5C), with ImPress support.
+
+Section VI-F: for very low Rowhammer thresholds, industry and JEDEC are
+adopting PRAC, where the DRAM array stores an activation counter per
+row.  When a row's counter crosses the alert threshold, the DRAM raises
+Alert-Back-Off (ABO): the controller pauses and the DRAM refreshes the
+victims, after which the counter resets.
+
+The paper notes ImPress composes directly with PRAC: widen each per-row
+counter by 7 fractional bits and increment by EACT instead of 1.  This
+module implements that tracker so the ablation bench can show PRAC+
+ImPress-P holding T* at any threshold where Graphene/PARA become
+impractical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Tracker
+
+#: JEDEC DDR5 rows per bank in our 32 GB/channel configuration.
+DEFAULT_ROWS_PER_BANK = 65536
+
+
+class PracTracker(Tracker):
+    """Per-row activation counters with Alert-Back-Off mitigation.
+
+    Mitigation is synchronous from the controller's perspective: when a
+    counter crosses ``alert_threshold`` the row is nominated for victim
+    refresh and its counter resets (the ABO flow).  PRAC is in-DRAM
+    storage-wise, but unlike Mithril/MINT it does not wait for RFM, so
+    we model it on the MC-visible path.
+    """
+
+    in_dram = False
+
+    def __init__(
+        self,
+        alert_threshold: float,
+        rows_per_bank: int = DEFAULT_ROWS_PER_BANK,
+        fraction_bits: int = 0,
+    ) -> None:
+        if alert_threshold <= 0:
+            raise ValueError("alert_threshold must be positive")
+        if rows_per_bank < 1:
+            raise ValueError("rows_per_bank must be positive")
+        if fraction_bits < 0:
+            raise ValueError("fraction_bits must be non-negative")
+        self.alert_threshold = alert_threshold
+        self.rows_per_bank = rows_per_bank
+        self.fraction_bits = fraction_bits
+        self._scale = 1 << fraction_bits
+        self._alert_raw = int(alert_threshold * self._scale)
+        # Sparse counter map: the array conceptually has one counter per
+        # row; untouched rows stay at zero.
+        self._counters: Dict[int, int] = {}
+        self.alerts = 0
+
+    def count_for(self, row: int) -> float:
+        return self._counters.get(row, 0) / self._scale
+
+    def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        if not 0 <= row < self.rows_per_bank:
+            raise ValueError(f"row {row} outside the bank")
+        raw = int(weight * self._scale)
+        if raw < 0:
+            raise ValueError("weight must be non-negative")
+        if raw == 0:
+            return []
+        count = self._counters.get(row, 0) + raw
+        if count >= self._alert_raw:
+            self._counters[row] = 0
+            self.alerts += 1
+            return [row]
+        self._counters[row] = count
+        return []
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def storage_bits_per_row(self, max_count: float | None = None) -> int:
+        """Counter width per row (the DRAM-array cost of PRAC).
+
+        The alert threshold bounds the integer part; ImPress-P adds the
+        fractional bits (Section VI-F).
+        """
+        bound = int(max_count if max_count is not None else self.alert_threshold)
+        return max(1, bound.bit_length()) + self.fraction_bits
+
+    def storage_kib_per_bank(self) -> float:
+        return self.rows_per_bank * self.storage_bits_per_row() / 8 / 1024

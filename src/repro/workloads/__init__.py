@@ -1,0 +1,62 @@
+"""Workloads: synthetic SPEC/STREAM traces and attack patterns."""
+
+from .attacks import (
+    TimedAccess,
+    decoy_pattern_accesses,
+    hammer_trace,
+    k_pattern_accesses,
+    row_press_accesses,
+    row_press_trace,
+    rowhammer_accesses,
+)
+from .profiles import (
+    ALL_WORKLOAD_NAMES,
+    SPEC_NAMES,
+    SPEC_PROFILES,
+    STREAM_KERNEL_NAMES,
+    STREAM_MIX_NAMES,
+    STREAM_MIXES,
+    STREAM_NAMES,
+    STREAM_PROFILES,
+    WorkloadProfile,
+    is_mix,
+    mix_components,
+    mix_name,
+    profile_for,
+)
+from .synthetic import (
+    rate_mode_traces,
+    spec_like_trace,
+    stream_like_trace,
+    trace_for_profile,
+)
+from .trace import Trace, TraceRequest
+
+__all__ = [
+    "TimedAccess",
+    "decoy_pattern_accesses",
+    "hammer_trace",
+    "k_pattern_accesses",
+    "row_press_accesses",
+    "row_press_trace",
+    "rowhammer_accesses",
+    "ALL_WORKLOAD_NAMES",
+    "SPEC_NAMES",
+    "SPEC_PROFILES",
+    "STREAM_KERNEL_NAMES",
+    "STREAM_MIX_NAMES",
+    "STREAM_MIXES",
+    "STREAM_NAMES",
+    "STREAM_PROFILES",
+    "WorkloadProfile",
+    "is_mix",
+    "mix_components",
+    "mix_name",
+    "profile_for",
+    "rate_mode_traces",
+    "spec_like_trace",
+    "stream_like_trace",
+    "trace_for_profile",
+    "Trace",
+    "TraceRequest",
+]

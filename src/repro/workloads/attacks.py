@@ -1,0 +1,189 @@
+"""Attack-pattern generators: Rowhammer, Row-Press, and hybrids.
+
+Two layers:
+
+* **Timed accesses** (:class:`TimedAccess`) drive the security verifier
+  and the mitigation schemes directly with exact ACT/close cycles —
+  including the Fig-10 decoy pattern that exploits ImPress-N's window
+  granularity and the parameterized K-pattern of Fig 17.
+* **Traces** feed the performance simulator: classic double-sided
+  hammering as a stream of row-conflicting reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dram.address import MopAddressMapper, MappedAddress, LINE_BYTES
+from ..dram.timing import CycleTimings
+from .trace import Trace, TraceRequest
+
+
+@dataclass(frozen=True)
+class TimedAccess:
+    """One access: a row opened at ``act_cycle`` and closed at ``close_cycle``.
+
+    ``close_cycle`` is when the precharge is issued; the access's total
+    time (for EACT) additionally includes tPRE.
+    """
+
+    row: int
+    act_cycle: int
+    close_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.close_cycle <= self.act_cycle:
+            raise ValueError("close must come after act")
+
+    def open_cycles(self) -> int:
+        return self.close_cycle - self.act_cycle
+
+
+def rowhammer_accesses(
+    row: int, rounds: int, timings: CycleTimings, start_cycle: int = 0
+) -> List[TimedAccess]:
+    """Back-to-back activations: one ACT per tRC, each open for tRAS."""
+    return [
+        TimedAccess(
+            row=row,
+            act_cycle=start_cycle + i * timings.tRC,
+            close_cycle=start_cycle + i * timings.tRC + timings.tRAS,
+        )
+        for i in range(rounds)
+    ]
+
+
+def row_press_accesses(
+    row: int,
+    rounds: int,
+    ton_cycles: int,
+    timings: CycleTimings,
+    start_cycle: int = 0,
+) -> List[TimedAccess]:
+    """The Fig-2 pattern: each round keeps the row open for ``ton_cycles``."""
+    if ton_cycles < timings.tRAS:
+        raise ValueError("tON cannot be below tRAS")
+    period = ton_cycles + timings.tPRE
+    return [
+        TimedAccess(
+            row=row,
+            act_cycle=start_cycle + i * period,
+            close_cycle=start_cycle + i * period + ton_cycles,
+        )
+        for i in range(rounds)
+    ]
+
+
+def k_pattern_accesses(
+    row: int,
+    rounds: int,
+    k: int,
+    timings: CycleTimings,
+    start_cycle: int = 0,
+) -> List[TimedAccess]:
+    """Fig 17: ACT, keep open tRAS + K*tRC, precharge; loop time (K+1)*tRC."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return row_press_accesses(
+        row, rounds, timings.tRAS + k * timings.tRC, timings, start_cycle
+    )
+
+
+def decoy_pattern_accesses(
+    target_row: int,
+    decoy_row: int,
+    rounds: int,
+    timings: CycleTimings,
+    lead_cycles: int | None = None,
+) -> List[TimedAccess]:
+    """Fig 10: evade ImPress-N's window credits entirely.
+
+    Each round activates the target within the last tACT of a tRC window
+    (so the boundary sample sees the row as not-yet-open), keeps it open
+    for tRC + tRAS (so it is open at exactly one boundary), then a decoy
+    activation forces the close just before the next boundary.  The
+    target leaks (1 + alpha) units per round but is recorded as a single
+    ACT — the worst case behind Eq 5.
+    """
+    trc = timings.tRC
+    if lead_cycles is None:
+        lead_cycles = timings.tACT // 2
+    if not 0 < lead_cycles <= timings.tACT:
+        raise ValueError("lead must be within the activation latency")
+    accesses: List[TimedAccess] = []
+    # Period must be a multiple of tRC to keep the window phase locked.
+    period = 3 * trc
+    for i in range(rounds):
+        act = (i * period) + trc - lead_cycles
+        close = act + trc + timings.tRAS
+        accesses.append(
+            TimedAccess(row=target_row, act_cycle=act, close_cycle=close)
+        )
+        # The decoy row opens as the target closes and stays open only
+        # briefly; it is also invisible at the following boundary.
+        decoy_act = close
+        accesses.append(
+            TimedAccess(
+                row=decoy_row,
+                act_cycle=decoy_act,
+                close_cycle=decoy_act + timings.tRAS,
+            )
+        )
+    return accesses
+
+
+# ----------------------------------------------------------------------
+# Trace-level attacks for the performance simulator
+# ----------------------------------------------------------------------
+
+def hammer_trace(
+    mapper: MopAddressMapper,
+    bank: int,
+    rows: List[int],
+    n_requests: int,
+    channel: int = 0,
+    gap_cycles: int = 0,
+) -> Trace:
+    """Alternating same-bank rows: every access is a row conflict (ACT)."""
+    if not rows:
+        raise ValueError("need at least one aggressor row")
+    requests = []
+    for i in range(n_requests):
+        row = rows[i % len(rows)]
+        address = mapper.address_of(
+            MappedAddress(channel=channel, bank=bank, row=row, column=0)
+        )
+        requests.append(
+            TraceRequest(address=address, is_write=False, gap_cycles=gap_cycles)
+        )
+    return Trace(requests)
+
+
+def row_press_trace(
+    mapper: MopAddressMapper,
+    bank: int,
+    row: int,
+    n_requests: int,
+    hold_gap_cycles: int,
+    channel: int = 0,
+) -> Trace:
+    """Repeated reads to one row, spaced to keep it open (Row-Press-ish).
+
+    With an open-page policy the row stays open between the spaced hits;
+    a large ``hold_gap_cycles`` stretches tON toward the refresh limit.
+    """
+    requests = []
+    for i in range(n_requests):
+        address = mapper.address_of(
+            MappedAddress(
+                channel=channel, bank=bank, row=row,
+                column=i % mapper.lines_per_row_group,
+            )
+        )
+        requests.append(
+            TraceRequest(
+                address=address, is_write=False, gap_cycles=hold_gap_cycles
+            )
+        )
+    return Trace(requests)

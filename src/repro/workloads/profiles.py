@@ -1,0 +1,121 @@
+"""Named workload profiles matching the paper's evaluation (Fig 3).
+
+The paper runs 10 SPEC2017 rate-mode traces and 10 streaming workloads
+(4 STREAM kernels plus 6 pairwise mixes).  We cannot ship SPEC traces,
+so each name carries a locality/intensity profile that drives the
+synthetic generator (DESIGN.md substitution #3):
+
+* ``run_lines`` — mean number of consecutive cache lines touched before
+  jumping to a new random location.  Under the MOP mapping 8 consecutive
+  lines share a row, so long runs mean high row-buffer locality.
+* ``gap_cycles`` — mean DRAM-clock cycles of core think time between
+  LLC misses (lower = more memory-bound).
+* ``write_fraction`` — stores among misses (SPEC profiles only; STREAM
+  kernels derive writes from their destination streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Parameters of one named workload."""
+
+    name: str
+    category: str                    # "spec" or "stream"
+    run_lines: float = 1.0
+    gap_cycles: int = 30
+    write_fraction: float = 0.25
+    streams: Tuple[str, ...] = ()    # STREAM kernels: r=read, w=write
+
+    def __post_init__(self) -> None:
+        if self.category not in ("spec", "stream"):
+            raise ValueError("category must be 'spec' or 'stream'")
+        if self.run_lines < 1.0:
+            raise ValueError("run_lines must be at least 1")
+        if not 0 <= self.write_fraction <= 1:
+            raise ValueError("write_fraction must be a probability")
+
+
+#: SPEC2017 profiles: low-to-medium spatial locality, varying intensity.
+SPEC_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile("fotonik3d", "spec", run_lines=4.0, gap_cycles=18),
+        WorkloadProfile("mcf", "spec", run_lines=1.3, gap_cycles=12,
+                        write_fraction=0.3),
+        WorkloadProfile("gcc", "spec", run_lines=2.0, gap_cycles=40),
+        WorkloadProfile("omnetpp", "spec", run_lines=1.5, gap_cycles=25),
+        WorkloadProfile("bwaves", "spec", run_lines=5.0, gap_cycles=16),
+        WorkloadProfile("roms", "spec", run_lines=4.5, gap_cycles=20),
+        WorkloadProfile("cactuBSSN", "spec", run_lines=3.5, gap_cycles=22),
+        WorkloadProfile("wrf", "spec", run_lines=3.0, gap_cycles=30),
+        WorkloadProfile("pop2", "spec", run_lines=2.5, gap_cycles=35),
+        WorkloadProfile("xalancbmk", "spec", run_lines=1.4, gap_cycles=45),
+    )
+}
+
+#: STREAM kernels: fully sequential streams, memory-bound.
+#: copy:  c[i] = a[i]                (1 read stream, 1 write stream)
+#: scale: b[i] = s * c[i]            (1 read, 1 write)
+#: add:   c[i] = a[i] + b[i]         (2 reads, 1 write)
+#: triad: a[i] = b[i] + s * c[i]     (2 reads, 1 write)
+STREAM_KERNELS: Dict[str, Tuple[str, ...]] = {
+    "copy": ("r", "w"),
+    "scale": ("r", "w"),
+    "add": ("r", "r", "w"),
+    "triad": ("r", "r", "w"),
+}
+
+STREAM_PROFILES: Dict[str, WorkloadProfile] = {
+    name: WorkloadProfile(
+        name, "stream", run_lines=8.0, gap_cycles=20, streams=streams
+    )
+    for name, streams in STREAM_KERNELS.items()
+}
+
+#: The six pairwise mixes (4 cores run each side in the 8-core system).
+STREAM_MIXES: Tuple[Tuple[str, str], ...] = (
+    ("add", "copy"),
+    ("add", "scale"),
+    ("add", "triad"),
+    ("copy", "scale"),
+    ("copy", "triad"),
+    ("scale", "triad"),
+)
+
+
+def mix_name(first: str, second: str) -> str:
+    return f"{first}_{second}"
+
+
+SPEC_NAMES: Tuple[str, ...] = tuple(SPEC_PROFILES)
+STREAM_KERNEL_NAMES: Tuple[str, ...] = tuple(STREAM_KERNELS)
+STREAM_MIX_NAMES: Tuple[str, ...] = tuple(
+    mix_name(a, b) for a, b in STREAM_MIXES
+)
+STREAM_NAMES: Tuple[str, ...] = STREAM_KERNEL_NAMES + STREAM_MIX_NAMES
+ALL_WORKLOAD_NAMES: Tuple[str, ...] = SPEC_NAMES + STREAM_NAMES
+
+
+def profile_for(name: str) -> WorkloadProfile:
+    """Look up a SPEC or STREAM-kernel profile by name."""
+    if name in SPEC_PROFILES:
+        return SPEC_PROFILES[name]
+    if name in STREAM_PROFILES:
+        return STREAM_PROFILES[name]
+    raise KeyError(f"unknown workload: {name!r}")
+
+
+def is_mix(name: str) -> bool:
+    return name in STREAM_MIX_NAMES
+
+
+def mix_components(name: str) -> Tuple[str, str]:
+    for first, second in STREAM_MIXES:
+        if mix_name(first, second) == name:
+            return first, second
+    raise KeyError(f"not a mix workload: {name!r}")

@@ -1,0 +1,154 @@
+"""Synthetic trace generation from workload profiles.
+
+Generates the per-core LLC-miss streams described by
+:mod:`repro.workloads.profiles`.  SPEC-like traces are runs of
+consecutive cache lines (geometric run length) at random locations;
+STREAM-like traces interleave fully-sequential read/write streams.
+Addresses are line-aligned byte addresses; the MOP mapper decides how
+they land on banks and rows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..dram.address import LINE_BYTES
+from .profiles import (
+    WorkloadProfile,
+    is_mix,
+    mix_components,
+    profile_for,
+)
+from .trace import Trace, TraceRequest
+
+#: Footprint of one synthetic core's address space, in lines.  Large
+#: enough that rate-mode copies never collide.
+CORE_FOOTPRINT_LINES = 1 << 24
+
+#: Base-address separation between STREAM arrays, in lines.
+STREAM_ARRAY_STRIDE_LINES = 1 << 20
+
+
+def _geometric(rng: random.Random, mean: float) -> int:
+    """Geometric run length with the given mean (at least 1)."""
+    if mean <= 1.0:
+        return 1
+    # P(stop) per step = 1/mean gives mean run length `mean`.
+    p_stop = 1.0 / mean
+    length = 1
+    while rng.random() > p_stop and length < 1024:
+        length += 1
+    return length
+
+
+def _gap(rng: random.Random, mean: int) -> int:
+    """Bounded, jittered think time around the profile mean."""
+    if mean <= 0:
+        return 0
+    return max(0, int(rng.gauss(mean, mean * 0.3)))
+
+
+def spec_like_trace(
+    profile: WorkloadProfile, n_requests: int, seed: int = 0
+) -> Trace:
+    """Runs of consecutive lines at random locations (SPEC-like)."""
+    rng = random.Random(seed)
+    requests: List[TraceRequest] = []
+    while len(requests) < n_requests:
+        start_line = rng.randrange(CORE_FOOTPRINT_LINES)
+        run = _geometric(rng, profile.run_lines)
+        for offset in range(run):
+            if len(requests) >= n_requests:
+                break
+            requests.append(
+                TraceRequest(
+                    address=(start_line + offset) * LINE_BYTES,
+                    is_write=rng.random() < profile.write_fraction,
+                    gap_cycles=_gap(rng, profile.gap_cycles),
+                )
+            )
+    return Trace(requests)
+
+
+def stream_like_trace(
+    profile: WorkloadProfile, n_requests: int, seed: int = 0
+) -> Trace:
+    """Interleaved sequential streams (STREAM kernel).
+
+    The kernel touches one element of every array per loop iteration, so
+    the streams advance in lockstep: for ``add`` the request order is
+    a[0], b[0], c[0], a[1], b[1], c[1], ...  Each array is a disjoint
+    sequential region, so every stream enjoys full 8-lines-per-row MOP
+    locality — until something (tMRO, a row conflict) closes its row.
+    """
+    if not profile.streams:
+        raise ValueError(f"{profile.name} has no stream specification")
+    rng = random.Random(seed)
+    n_streams = len(profile.streams)
+    # Offset each array by a few row groups so concurrent streams start
+    # in different banks instead of marching in lockstep on one.
+    bases = [
+        (1 + 2 * i) * STREAM_ARRAY_STRIDE_LINES + 11 * i * 8
+        for i in range(n_streams)
+    ]
+    # Random starting phase (in whole row groups) per stream: real
+    # arrays are not bank-aligned with each other, and a deterministic
+    # lockstep start would make bank collisions an all-or-nothing
+    # artifact of the initial alignment.
+    positions = [8 * rng.randrange(256) for _ in range(n_streams)]
+    requests: List[TraceRequest] = []
+    stream_index = 0
+    while len(requests) < n_requests:
+        kind = profile.streams[stream_index]
+        line = bases[stream_index] + positions[stream_index]
+        positions[stream_index] += 1
+        requests.append(
+            TraceRequest(
+                address=line * LINE_BYTES,
+                is_write=(kind == "w"),
+                gap_cycles=_gap(rng, profile.gap_cycles),
+            )
+        )
+        stream_index = (stream_index + 1) % n_streams
+    return Trace(requests)
+
+
+def trace_for_profile(
+    profile: WorkloadProfile, n_requests: int, seed: int = 0
+) -> Trace:
+    if profile.category == "stream":
+        return stream_like_trace(profile, n_requests, seed)
+    return spec_like_trace(profile, n_requests, seed)
+
+
+def rate_mode_traces(
+    name: str, n_cores: int, n_requests_per_core: int, seed: int = 0
+) -> List[Trace]:
+    """Per-core traces for a named workload in rate mode.
+
+    SPEC and single-kernel STREAM workloads run ``n_cores`` identical
+    copies at disjoint address offsets; mixes split the cores between the
+    two component kernels (Section III-A: "two with 4 copies each").
+    """
+    if n_cores < 1:
+        raise ValueError("n_cores must be positive")
+    # Disjoint footprints per core, plus a small row-group skew so the
+    # copies start in different banks (the footprint itself is a
+    # multiple of every bank count we use).
+    core_offset_bytes = (CORE_FOOTPRINT_LINES * 4 + 5 * 8) * LINE_BYTES
+    traces: List[Trace] = []
+    if is_mix(name):
+        first, second = mix_components(name)
+        half = n_cores // 2
+        names = [first] * half + [second] * (n_cores - half)
+    else:
+        profile_for(name)  # validate early
+        names = [name] * n_cores
+    for core_id, core_name in enumerate(names):
+        profile = profile_for(core_name)
+        base = trace_for_profile(
+            profile, n_requests_per_core, seed=seed + core_id
+        )
+        traces.append(base.offset_by(core_id * core_offset_bytes))
+    return traces

@@ -1,0 +1,60 @@
+"""Memory-request traces: the interface between workloads and the core model.
+
+A workload is an iterator of :class:`TraceRequest` items — the LLC-miss
+stream of one core.  ``gap_cycles`` is the core-side think time between
+retiring the previous request's issue slot and issuing this one; memory-
+bound workloads have small gaps, compute-bound ones large gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One LLC-miss: a 64-byte line address plus issue spacing."""
+
+    address: int
+    is_write: bool = False
+    gap_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.gap_cycles < 0:
+            raise ValueError("gap_cycles must be non-negative")
+
+
+class Trace:
+    """A finite, replayable request stream."""
+
+    def __init__(self, requests: Iterable[TraceRequest]) -> None:
+        self.requests: List[TraceRequest] = list(requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[TraceRequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> TraceRequest:
+        return self.requests[index]
+
+    def offset_by(self, byte_offset: int) -> "Trace":
+        """Shift all addresses — used for rate-mode core copies."""
+        return Trace(
+            TraceRequest(
+                address=request.address + byte_offset,
+                is_write=request.is_write,
+                gap_cycles=request.gap_cycles,
+            )
+            for request in self.requests
+        )
+
+    def write_fraction(self) -> float:
+        if not self.requests:
+            return 0.0
+        writes = sum(1 for request in self.requests if request.is_write)
+        return writes / len(self.requests)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.dram.timing import CycleTimings, DramClock, ddr5_timings
+
+
+@pytest.fixture(scope="session")
+def timings() -> CycleTimings:
+    """Table I converted to cycles at the paper's 2.66 GHz clock."""
+    return CycleTimings.from_ns(ddr5_timings())
+
+
+@pytest.fixture(scope="session")
+def clock() -> DramClock:
+    return DramClock()

@@ -1,0 +1,71 @@
+"""Unit and property tests for the MOP address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address import LINE_BYTES, MappedAddress, MopAddressMapper
+
+
+@pytest.fixture
+def mapper():
+    return MopAddressMapper(channels=2, banks_per_channel=64)
+
+
+class TestMopMapping:
+    def test_eight_consecutive_lines_share_a_row(self, mapper):
+        base = 0
+        mapped = [
+            mapper.map_address(base + i * LINE_BYTES) for i in range(8)
+        ]
+        assert len({(m.channel, m.bank, m.row) for m in mapped}) == 1
+        assert [m.column for m in mapped] == list(range(8))
+
+    def test_ninth_line_hops_bank(self, mapper):
+        first = mapper.map_address(0)
+        ninth = mapper.map_address(8 * LINE_BYTES)
+        assert (ninth.channel, ninth.bank) != (first.channel, first.bank)
+        assert ninth.column == 0
+
+    def test_row_span_bytes(self, mapper):
+        assert mapper.row_span_bytes() == 8 * LINE_BYTES
+
+    def test_rejects_negative(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.map_address(-1)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            MopAddressMapper(channels=0)
+        with pytest.raises(ValueError):
+            MopAddressMapper(lines_per_row_group=0)
+
+    def test_groups_stripe_over_all_banks(self, mapper):
+        banks = {
+            (m.channel, m.bank)
+            for m in (
+                mapper.map_address(g * 8 * LINE_BYTES)
+                for g in range(mapper.total_banks)
+            )
+        }
+        assert len(banks) == mapper.total_banks
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**38))
+    def test_map_address_roundtrip(self, address):
+        mapper = MopAddressMapper()
+        aligned = (address >> 6) << 6
+        assert mapper.address_of(mapper.map_address(aligned)) == aligned
+
+    @given(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=2**16),
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_address_of_roundtrip(self, channel, bank, row, column):
+        mapper = MopAddressMapper(channels=2, banks_per_channel=64)
+        mapped = MappedAddress(
+            channel=channel, bank=bank, row=row, column=column
+        )
+        assert mapper.map_address(mapper.address_of(mapped)) == mapped

@@ -1,0 +1,107 @@
+"""Unit tests for the closed-form analyses (Eq 5, Fig 12, Eq 6-10)."""
+
+import pytest
+
+from repro.core.analysis import (
+    appendix_para_probability,
+    attack_iteration_time_trc,
+    express_relative_threshold_clm,
+    express_relative_threshold_measured,
+    graphene_attack_slowdown,
+    impress_n_effective_threshold,
+    impress_p_relative_threshold,
+    para_attack_slowdown,
+)
+
+
+class TestEq5:
+    def test_alpha_035_gives_074(self):
+        # Section V-B: T* = TRH/1.35 = 0.74 TRH.
+        t_star = impress_n_effective_threshold(4000, 0.35)
+        assert t_star / 4000 == pytest.approx(0.74, abs=0.01)
+
+    def test_alpha_1_halves(self):
+        assert impress_n_effective_threshold(4000, 1.0) == 2000
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            impress_n_effective_threshold(0, 1.0)
+        with pytest.raises(ValueError):
+            impress_n_effective_threshold(4000, -0.1)
+
+
+class TestFig12Formula:
+    def test_paper_values(self):
+        # Section VI-B: 6 bits -> 0.985-ish, 5 -> 0.97, 4 -> 0.94.
+        assert impress_p_relative_threshold(6) == pytest.approx(0.985, abs=0.002)
+        assert impress_p_relative_threshold(5) == pytest.approx(0.97, abs=0.002)
+        assert impress_p_relative_threshold(4) == pytest.approx(0.94, abs=0.003)
+
+    def test_seven_bits_exact(self):
+        assert impress_p_relative_threshold(7) == 1.0
+
+    def test_zero_bits_degenerates_to_impress_n(self):
+        assert impress_p_relative_threshold(0) == 0.5
+
+    def test_monotone_in_bits(self):
+        values = [impress_p_relative_threshold(b) for b in range(8)]
+        assert values == sorted(values)
+
+
+class TestExpressThreshold:
+    def test_clm_at_tras_is_one(self):
+        assert express_relative_threshold_clm(36.0) == pytest.approx(1.0)
+
+    def test_clm_never_above_measured(self):
+        # CLM is conservative: it predicts at most the measured T*.
+        for tmro in (66.0, 96.0, 186.0, 336.0, 636.0):
+            assert (
+                express_relative_threshold_clm(tmro, 0.35)
+                <= express_relative_threshold_measured(tmro) + 1e-9
+            )
+
+    def test_measured_anchor_062_at_186(self):
+        assert express_relative_threshold_measured(186.0) == pytest.approx(0.62)
+
+
+class TestAppendixB:
+    def test_appendix_para_probabilities(self):
+        assert appendix_para_probability(4000) == pytest.approx(1 / 84)
+        assert appendix_para_probability(2000) == pytest.approx(1 / 42)
+        assert appendix_para_probability(1000) == pytest.approx(1 / 21)
+
+    def test_graphene_slowdown_is_8_over_t(self):
+        # Eq 9: slowdown = 8/T regardless of K.
+        assert graphene_attack_slowdown(4000, 0) == pytest.approx(0.002)
+        assert graphene_attack_slowdown(4000, 100) == pytest.approx(0.002)
+        assert graphene_attack_slowdown(1000, 50) == pytest.approx(0.008)
+
+    def test_para_slowdown_k0(self):
+        # 4p at K = 0: 4/84 = 4.76% for TRH 4000.
+        assert para_attack_slowdown(4000, 0) == pytest.approx(0.0476, abs=1e-3)
+
+    def test_para_slowdown_flat_until_saturation(self):
+        # Until p (K+1) reaches 1 the slowdown stays 4p.
+        p = appendix_para_probability(4000)
+        for k in (0, 10, 50):
+            if p * (k + 1) < 1:
+                assert para_attack_slowdown(4000, k) == pytest.approx(4 * p)
+
+    def test_para_slowdown_decays_after_saturation(self):
+        k_sat = int(1 / appendix_para_probability(1000))
+        saturated = para_attack_slowdown(1000, k_sat)
+        further = para_attack_slowdown(1000, 2 * k_sat)
+        assert further < saturated
+
+    def test_iteration_time(self):
+        # Fig 17: one loop iteration takes (K+1) tRC.
+        assert attack_iteration_time_trc(0) == 1.0
+        assert attack_iteration_time_trc(72) == 73.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            graphene_attack_slowdown(4000, -1)
+        with pytest.raises(ValueError):
+            para_attack_slowdown(4000, -1)
+        with pytest.raises(ValueError):
+            appendix_para_probability(0)

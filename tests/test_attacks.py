@@ -1,0 +1,122 @@
+"""Tests for attack-pattern generators."""
+
+import pytest
+
+from repro.dram.address import MopAddressMapper
+from repro.workloads.attacks import (
+    TimedAccess,
+    decoy_pattern_accesses,
+    hammer_trace,
+    k_pattern_accesses,
+    row_press_accesses,
+    row_press_trace,
+    rowhammer_accesses,
+)
+
+
+class TestTimedAccess:
+    def test_open_cycles(self):
+        access = TimedAccess(row=1, act_cycle=10, close_cycle=110)
+        assert access.open_cycles() == 100
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            TimedAccess(row=1, act_cycle=10, close_cycle=10)
+
+
+class TestRowhammerPattern:
+    def test_one_act_per_trc(self, timings):
+        accesses = rowhammer_accesses(5, 10, timings)
+        assert len(accesses) == 10
+        gaps = {
+            b.act_cycle - a.act_cycle
+            for a, b in zip(accesses, accesses[1:])
+        }
+        assert gaps == {timings.tRC}
+
+    def test_each_open_for_tras(self, timings):
+        for access in rowhammer_accesses(5, 4, timings):
+            assert access.open_cycles() == timings.tRAS
+
+
+class TestRowPressPattern:
+    def test_period_is_ton_plus_tpre(self, timings):
+        ton = timings.tRAS + 3 * timings.tRC
+        accesses = row_press_accesses(5, 4, ton, timings)
+        gaps = {
+            b.act_cycle - a.act_cycle
+            for a, b in zip(accesses, accesses[1:])
+        }
+        assert gaps == {ton + timings.tPRE}
+
+    def test_rejects_short_ton(self, timings):
+        with pytest.raises(ValueError):
+            row_press_accesses(5, 4, timings.tRAS - 1, timings)
+
+
+class TestKPattern:
+    def test_k0_is_rowhammer(self, timings):
+        k0 = k_pattern_accesses(5, 4, 0, timings)
+        rh = rowhammer_accesses(5, 4, timings)
+        assert [a.open_cycles() for a in k0] == [
+            a.open_cycles() for a in rh
+        ]
+
+    def test_loop_time_is_k_plus_1_trc(self, timings):
+        # Fig 17: one iteration takes (K+1) tRC.
+        for k in (1, 8, 72):
+            accesses = k_pattern_accesses(5, 3, k, timings)
+            period = accesses[1].act_cycle - accesses[0].act_cycle
+            assert period == (k + 1) * timings.tRC
+
+    def test_rejects_negative_k(self, timings):
+        with pytest.raises(ValueError):
+            k_pattern_accesses(5, 3, -1, timings)
+
+
+class TestDecoyPattern:
+    def test_target_open_for_trc_plus_tras(self, timings):
+        accesses = decoy_pattern_accesses(1, 2, 5, timings)
+        targets = [a for a in accesses if a.row == 1]
+        assert len(targets) == 5
+        for access in targets:
+            assert access.open_cycles() == timings.tRC + timings.tRAS
+
+    def test_act_lands_within_tact_of_boundary(self, timings):
+        accesses = decoy_pattern_accesses(1, 2, 3, timings)
+        for access in accesses:
+            if access.row != 1:
+                continue
+            to_boundary = -access.act_cycle % timings.tRC
+            assert 0 < to_boundary <= timings.tACT
+
+    def test_decoy_interleaves(self, timings):
+        accesses = decoy_pattern_accesses(1, 2, 3, timings)
+        rows = [a.row for a in accesses]
+        assert rows == [1, 2, 1, 2, 1, 2]
+
+    def test_rejects_bad_lead(self, timings):
+        with pytest.raises(ValueError):
+            decoy_pattern_accesses(1, 2, 3, timings, lead_cycles=0)
+
+
+class TestTraceAttacks:
+    def test_hammer_trace_alternates_rows(self):
+        mapper = MopAddressMapper()
+        trace = hammer_trace(mapper, bank=3, rows=[10, 20], n_requests=6)
+        mapped = [mapper.map_address(r.address) for r in trace]
+        assert all(m.bank == 3 for m in mapped)
+        assert [m.row for m in mapped] == [10, 20, 10, 20, 10, 20]
+
+    def test_hammer_trace_needs_rows(self):
+        with pytest.raises(ValueError):
+            hammer_trace(MopAddressMapper(), 0, [], 10)
+
+    def test_row_press_trace_same_row(self):
+        mapper = MopAddressMapper()
+        trace = row_press_trace(
+            mapper, bank=3, row=10, n_requests=16, hold_gap_cycles=50
+        )
+        mapped = [mapper.map_address(r.address) for r in trace]
+        assert all(m.row == 10 and m.bank == 3 for m in mapped)
+        assert all(r.gap_cycles == 50 for r in trace)

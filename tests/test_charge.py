@@ -1,0 +1,149 @@
+"""Unit and property tests for the Unified Charge-Loss Model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.charge import (
+    ALPHA_LONG,
+    ALPHA_SAFE,
+    ALPHA_SHORT,
+    TPRE_TRC,
+    TRAS_TRC,
+    ConservativeLinearModel,
+    fastest_attack_is_rowhammer,
+    fit_clm,
+    fit_power_law,
+    rowhammer_tcl,
+    unified_tcl,
+)
+
+
+class TestRowhammerModel:
+    def test_eq1_linear(self):
+        # Eq 1: K activations cause K units of charge loss.
+        for k in (1, 10, 4000):
+            assert rowhammer_tcl(k) == k
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rowhammer_tcl(-1)
+
+
+class TestConservativeLinearModel:
+    def test_degenerates_to_rowhammer_at_tras(self):
+        model = ConservativeLinearModel(alpha=ALPHA_SHORT)
+        assert model.tcl_of_open_time(TRAS_TRC) == pytest.approx(1.0)
+
+    def test_eq4_at_one_extra_trc(self):
+        # Eq 4: tON = tRAS + tRC leaks 1 + 0.35 units.
+        model = ConservativeLinearModel(alpha=0.35)
+        assert model.tcl_of_open_time(TRAS_TRC + 1.0) == pytest.approx(1.35)
+
+    def test_attack_time_includes_precharge(self):
+        model = ConservativeLinearModel(alpha=0.35)
+        # Total time of 1 tRC = tRAS open + tPRE: plain Rowhammer.
+        assert model.tcl_of_attack_time(1.0) == pytest.approx(1.0)
+
+    def test_rounds_to_flip_halves_threshold(self):
+        model = ConservativeLinearModel(alpha=1.0)
+        # A round leaking 2 units halves the observable threshold.
+        ton = TRAS_TRC + 1.0
+        assert model.rounds_to_flip(4000, ton) == pytest.approx(2000)
+
+    def test_rejects_ton_below_tras(self):
+        model = ConservativeLinearModel()
+        with pytest.raises(ValueError):
+            model.tcl_of_open_time(TRAS_TRC - 0.1)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            ConservativeLinearModel(alpha=-0.1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=TRAS_TRC, max_value=1000.0),
+    )
+    def test_tcl_monotone_in_time_and_alpha(self, alpha, ton):
+        model = ConservativeLinearModel(alpha=alpha)
+        assert model.tcl_of_open_time(ton + 1.0) >= model.tcl_of_open_time(ton)
+        stronger = ConservativeLinearModel(alpha=min(1.0, alpha + 0.1))
+        assert stronger.tcl_of_open_time(ton) >= model.tcl_of_open_time(ton)
+
+
+class TestUnifiedModel:
+    def test_mixed_pattern_sums(self):
+        # Two RH rounds plus one RP round of tRAS + 2 tRC at alpha 0.5.
+        total = unified_tcl(
+            [TRAS_TRC, TRAS_TRC, TRAS_TRC + 2.0], alpha=0.5
+        )
+        assert total == pytest.approx(1.0 + 1.0 + 2.0)
+
+    def test_observation2_rowhammer_is_fastest(self):
+        # Key observation 2: with alpha <= 1, pure RH maximizes damage.
+        for alpha in (ALPHA_SHORT, ALPHA_LONG, ALPHA_SAFE):
+            assert fastest_attack_is_rowhammer(alpha, duration_trc=100.0)
+
+    def test_observation1_rp_slower_than_rh(self):
+        # Even at alpha = 0.48, RP does under half RH's damage per time.
+        model = ConservativeLinearModel(alpha=ALPHA_LONG)
+        duration = 100.0
+        rp = model.tcl_of_open_time(duration - TPRE_TRC)
+        rh = duration  # one unit per tRC
+        assert rp < rh / 2 + 1
+
+
+class TestClmFit:
+    def test_fit_covers_all_points(self):
+        points = [(2.0, 1.2), (3.0, 1.5), (5.0, 1.8)]
+        model = fit_clm(points)
+        for total, tcl in points:
+            assert model.tcl_of_attack_time(total) >= tcl - 1e-9
+
+    def test_fit_is_tight(self):
+        # The binding point determines alpha exactly.
+        points = [(2.0, 1.35)]
+        model = fit_clm(points)
+        assert model.alpha == pytest.approx(0.35 / 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fit_clm([])
+
+    def test_minimal_time_point_cannot_exceed_one(self):
+        with pytest.raises(ValueError):
+            fit_clm([(1.0, 1.5)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.1, max_value=100.0),
+                st.floats(min_value=1.0, max_value=50.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_fit_never_underestimates(self, points):
+        model = fit_clm(points)
+        for total, tcl in points:
+            assert model.tcl_of_attack_time(total) >= tcl - 1e-6
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_power_law(self):
+        truth_a, truth_b = 0.3, 0.8
+        points = [
+            (t, 1.0 + truth_a * (t - 1.0) ** truth_b)
+            for t in (1.5, 2.0, 3.0, 5.0, 8.0)
+        ]
+        fit = fit_power_law(points)
+        assert fit.a == pytest.approx(truth_a, rel=1e-6)
+        assert fit.b == pytest.approx(truth_b, rel=1e-6)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(2.0, 1.5)])
+
+    def test_tcl_at_minimum_time_is_one(self):
+        fit = fit_power_law([(2.0, 1.5), (4.0, 2.0)])
+        assert fit.tcl_of_attack_time(1.0) == 1.0

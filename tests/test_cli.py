@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_MODULES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.trh == 4000.0
+        assert args.fraction_bits == 7
+
+    def test_simulate_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "add", "--tracker", "bogus"]
+            )
+
+
+class TestCommands:
+    def test_verify_runs(self, capsys):
+        assert main(["verify", "--trh", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "impress-p" in out
+        assert "no-rp" in out
+
+    def test_size_runs(self, capsys):
+        assert main(["size", "--trh", "4000", "--alpha", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "448" in out
+        assert "383" in out
+
+    def test_simulate_runs(self, capsys):
+        code = main(
+            ["simulate", "mcf", "--tracker", "para",
+             "--scheme", "impress-p", "--requests", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+
+    def test_experiment_unknown_name(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_experiment_tables(self, capsys):
+        assert main(["experiment", "tables"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_all_experiment_modules_registered(self):
+        for name in ("fig3", "fig4", "fig13", "ablation", "all"):
+            assert name in EXPERIMENT_MODULES

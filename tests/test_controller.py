@@ -1,0 +1,196 @@
+"""Unit tests for the channel memory controller."""
+
+import pytest
+
+from repro.core.mitigation import ImpressPScheme, NoRpScheme
+from repro.dram.address import MappedAddress
+from repro.memctrl.controller import (
+    BANK_QUEUE_CAPACITY,
+    VICTIMS_PER_MITIGATION,
+    ChannelController,
+)
+from repro.memctrl.request import InFlightRequest
+from repro.trackers.base import AccountingTracker
+from repro.trackers.para import ParaTracker
+
+
+def make_controller(timings, scheme_cls=NoRpScheme, num_banks=2, **kwargs):
+    trackers = [AccountingTracker() for _ in range(num_banks)]
+    scheme = scheme_cls(trackers, timings)
+    return ChannelController(
+        timings=timings, num_banks=num_banks, scheme=scheme, **kwargs
+    )
+
+
+def demand(core, bank, row, column=0, cycle=0, write=False):
+    return InFlightRequest(
+        core_id=core,
+        mapped=MappedAddress(channel=0, bank=bank, row=row, column=column),
+        is_write=write,
+        enqueue_cycle=cycle,
+    )
+
+
+class TestDemandPath:
+    def test_miss_then_hit(self, timings):
+        controller = make_controller(timings)
+        controller.enqueue(demand(0, 0, 5, 0))
+        controller.enqueue(demand(0, 0, 5, 1))
+        first = controller.service(0, 0)
+        assert first.worked and len(first.completions) == 1
+        second = controller.service(0, first.next_wake)
+        assert second.worked
+        assert controller.row_misses == 1
+        assert controller.row_hits == 1
+        assert controller.counts.demand_acts == 1
+
+    def test_conflict_closes_and_reopens(self, timings):
+        controller = make_controller(timings, idle_close_cycles=None,
+                                     mop_burst_lines=None)
+        controller.enqueue(demand(0, 0, 5))
+        result = controller.service(0, 0)
+        controller.enqueue(demand(0, 0, 9))
+        cycle = max(result.next_wake, timings.tRAS)
+        controller.service(0, cycle)
+        assert controller.row_conflicts == 1
+        assert controller.counts.precharges >= 1
+
+    def test_fr_fcfs_prefers_hit(self, timings):
+        controller = make_controller(timings, idle_close_cycles=None,
+                                     mop_burst_lines=None)
+        controller.enqueue(demand(0, 0, 5))
+        first = controller.service(0, 0)
+        # Queue a conflicting row first, then a hit to the open row.
+        controller.enqueue(demand(0, 0, 9, 2))
+        controller.enqueue(demand(0, 0, 5, 1))
+        controller.service(0, first.next_wake)
+        assert controller.row_hits == 1  # the younger hit won
+
+    def test_write_completes_at_column_issue(self, timings):
+        controller = make_controller(timings)
+        controller.enqueue(demand(0, 0, 5, write=True))
+        result = controller.service(0, 0)
+        completion = result.completions[0]
+        assert completion.is_write
+        assert controller.counts.writes == 1
+
+    def test_queue_capacity(self, timings):
+        controller = make_controller(timings)
+        for i in range(BANK_QUEUE_CAPACITY):
+            controller.enqueue(demand(0, 0, i))
+        assert not controller.can_accept(0)
+        with pytest.raises(RuntimeError):
+            controller.enqueue(demand(0, 0, 99))
+
+
+class TestMopAndIdleClose:
+    def test_mop_burst_closes_after_n_columns(self, timings):
+        controller = make_controller(timings, mop_burst_lines=2,
+                                     idle_close_cycles=None)
+        controller.enqueue(demand(0, 0, 5, 0))
+        controller.enqueue(demand(0, 0, 5, 1))
+        wake = controller.service(0, 0).next_wake
+        controller.service(0, wake)
+        assert not controller.banks[0].is_open
+        assert controller.counts.precharges == 1
+
+    def test_idle_close_fires(self, timings):
+        controller = make_controller(timings, mop_burst_lines=None,
+                                     idle_close_cycles=100)
+        controller.enqueue(demand(0, 0, 5))
+        wake = controller.service(0, 0).next_wake
+        result = controller.service(0, wake)  # nothing to do yet
+        assert controller.banks[0].is_open
+        late = controller.service(0, wake + 200)
+        assert late.worked
+        assert not controller.banks[0].is_open
+
+
+class TestTmro:
+    def test_tmro_closes_open_row(self, timings):
+        tmro = timings.tRAS + timings.tRC
+        controller = make_controller(
+            timings, tmro_cycles=tmro, mop_burst_lines=None,
+            idle_close_cycles=None,
+        )
+        controller.enqueue(demand(0, 0, 5))
+        wake = controller.service(0, 0).next_wake
+        result = controller.service(0, tmro + 10)
+        assert result.worked
+        assert controller.tmro_closures == 1
+        assert not controller.banks[0].is_open
+
+    def test_idle_wake_includes_tmro(self, timings):
+        tmro = timings.tRAS + timings.tRC
+        controller = make_controller(
+            timings, tmro_cycles=tmro, mop_burst_lines=None,
+            idle_close_cycles=None,
+        )
+        controller.enqueue(demand(0, 0, 5))
+        wake = controller.service(0, 0).next_wake
+        idle = controller.service(0, wake)
+        assert idle.next_wake <= tmro + timings.tRC
+
+
+class TestRefresh:
+    def test_refresh_issues_when_due(self, timings):
+        controller = make_controller(timings)
+        due = controller.refresh[0].next_due
+        result = controller.service(0, due)
+        assert result.worked
+        assert controller.counts.refreshes == 1
+
+    def test_refresh_closes_open_row_first(self, timings):
+        controller = make_controller(timings, mop_burst_lines=None,
+                                     idle_close_cycles=None)
+        due = controller.refresh[0].next_due
+        controller.enqueue(demand(0, 0, 5))
+        controller.service(0, due - timings.tRC)
+        result = controller.service(0, due)
+        assert result.worked
+        assert controller.counts.refreshes == 1
+        assert controller.counts.precharges == 1
+
+
+class TestRfm:
+    def test_rfm_after_threshold_acts(self, timings):
+        controller = make_controller(
+            timings, use_rfm=True, rfmth=2,
+            mop_burst_lines=1, idle_close_cycles=None,
+        )
+        cycle = 0
+        for row in (1, 2):
+            controller.enqueue(demand(0, 0, row))
+            result = controller.service(0, cycle)
+            cycle = result.next_wake + timings.tRC
+        result = controller.service(0, cycle)
+        assert controller.counts.rfms == 1
+
+
+class TestMitigations:
+    def test_para_mitigation_blocks_bank(self, timings):
+        scheme = NoRpScheme([ParaTracker(p=1.0)], timings)
+        controller = ChannelController(
+            timings=timings, num_banks=1, scheme=scheme,
+        )
+        controller.enqueue(demand(0, 0, 5))
+        first = controller.service(0, 0)
+        result = controller.service(0, first.next_wake)
+        assert result.worked  # the mitigation block
+        assert controller.counts.mitigative_acts == VICTIMS_PER_MITIGATION
+
+    def test_impress_p_records_eact_on_close(self, timings):
+        tracker = AccountingTracker()
+        scheme = ImpressPScheme([tracker], timings)
+        controller = ChannelController(
+            timings=timings, num_banks=1, scheme=scheme,
+            mop_burst_lines=None, idle_close_cycles=None,
+        )
+        controller.enqueue(demand(0, 0, 5))
+        controller.service(0, 0)
+        controller.flush_open_rows(timings.tRAS + timings.tRC)
+        assert tracker.recorded_for(5) > 1.0
+
+    def test_hit_rate(self, timings):
+        controller = make_controller(timings)
+        assert controller.hit_rate() == 0.0

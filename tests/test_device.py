@@ -1,0 +1,83 @@
+"""Unit tests for the DRAM device (RFM bookkeeping, victim rows)."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandCounts, CommandKind
+from repro.dram.device import BLAST_RADIUS, DramDevice, victim_rows
+
+
+class TestVictimRows:
+    def test_blast_radius_two_gives_four_victims(self):
+        assert victim_rows(100) == [99, 101, 98, 102]
+
+    def test_edge_of_array_clips_low_side(self):
+        assert victim_rows(0) == [1, 2]
+
+    def test_blast_radius_one(self):
+        assert victim_rows(100, blast_radius=1) == [99, 101]
+
+    def test_default_blast_radius(self):
+        assert BLAST_RADIUS == 2
+
+
+class TestDramDevice:
+    @pytest.fixture
+    def device(self, timings):
+        return DramDevice(timings=timings, num_banks=4, rfm_threshold=3)
+
+    def test_rfm_due_after_threshold_acts(self, device, timings):
+        bank = device.banks[0]
+        cycle = 0
+        for i in range(3):
+            bank.activate(i, cycle)
+            bank.precharge(cycle + timings.tRAS)
+            cycle += timings.tRC
+        assert device.rfm_due(0)
+        assert not device.rfm_due(1)
+
+    def test_issue_rfm_resets_counter(self, device, timings):
+        bank = device.banks[0]
+        bank.activate(1, 0)
+        bank.precharge(timings.tRAS)
+        assert device.acts_since_rfm(0) == 1
+        device.issue_rfm(0, timings.tRC)
+        assert device.acts_since_rfm(0) == 0
+
+    def test_rejects_bad_banks(self, timings):
+        with pytest.raises(ValueError):
+            DramDevice(timings=timings, num_banks=0)
+
+
+class TestCommandCounts:
+    def test_demand_vs_mitigative_split(self):
+        counts = CommandCounts()
+        counts.record(Command(CommandKind.ACT, bank=0, cycle=0, row=1))
+        counts.record(
+            Command(CommandKind.ACT, bank=0, cycle=1, row=2, mitigative=True)
+        )
+        assert counts.demand_acts == 1
+        assert counts.mitigative_acts == 1
+        assert counts.total_acts == 2
+
+    def test_act_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.ACT, bank=0, cycle=0)
+
+    def test_merged_with(self):
+        a = CommandCounts(demand_acts=1, reads=2)
+        b = CommandCounts(demand_acts=3, writes=4)
+        merged = a.merged_with(b)
+        assert merged.demand_acts == 4
+        assert merged.reads == 2
+        assert merged.writes == 4
+
+    def test_record_each_kind(self):
+        counts = CommandCounts()
+        for kind in (CommandKind.PRE, CommandKind.RD, CommandKind.WR,
+                     CommandKind.REF, CommandKind.RFM):
+            counts.record(Command(kind, bank=0, cycle=0))
+        assert counts.precharges == 1
+        assert counts.reads == 1
+        assert counts.writes == 1
+        assert counts.refreshes == 1
+        assert counts.rfms == 1

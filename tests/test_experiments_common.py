@@ -1,0 +1,72 @@
+"""Tests for the experiment helpers (SweepRunner, geomean rows)."""
+
+import pytest
+
+from repro.experiments.common import (
+    QUICK_SPEC,
+    QUICK_STREAM,
+    SweepRunner,
+    category_geomeans,
+    spec_of,
+    stream_of,
+    workload_set,
+)
+from repro.sim.config import DefenseConfig, SystemConfig
+
+
+class TestWorkloadSets:
+    def test_quick_set(self):
+        names = workload_set(quick=True)
+        assert set(names) == set(QUICK_SPEC) | set(QUICK_STREAM)
+
+    def test_full_set_is_20(self):
+        assert len(workload_set(quick=False)) == 20
+
+    def test_spec_stream_partition(self):
+        names = workload_set(quick=False)
+        assert len(spec_of(names)) == 10
+        assert len(stream_of(names)) == 10
+        assert not set(spec_of(names)) & set(stream_of(names))
+
+
+class TestCategoryGeomeans:
+    def test_appends_geomean_rows(self):
+        per = {"mcf": 0.9, "gcc": 1.1, "add": 0.8, "copy": 0.5}
+        out = category_geomeans(per, list(per))
+        assert out["SPEC (GMean)"] == pytest.approx((0.9 * 1.1) ** 0.5)
+        assert out["STREAM (GMean)"] == pytest.approx((0.8 * 0.5) ** 0.5)
+
+    def test_preserves_workload_rows(self):
+        per = {"mcf": 0.9}
+        out = category_geomeans(per, ["mcf"])
+        assert out["mcf"] == 0.9
+        assert "STREAM (GMean)" not in out
+
+
+class TestSweepRunner:
+    def test_caches_runs(self):
+        runner = SweepRunner(
+            system=SystemConfig(n_cores=2, banks_per_channel=8),
+            n_requests=80,
+        )
+        first = runner.run("mcf", None)
+        second = runner.run("mcf", None)
+        assert first is second  # same object: cached
+
+    def test_distinct_configs_not_conflated(self):
+        runner = SweepRunner(
+            system=SystemConfig(n_cores=2, banks_per_channel=8),
+            n_requests=80,
+        )
+        base = runner.run("mcf", None)
+        defended = runner.run(
+            "mcf", DefenseConfig(tracker="para", scheme="no-rp", trh=200)
+        )
+        assert base is not defended
+
+    def test_speedup_of_baseline_is_one(self):
+        runner = SweepRunner(
+            system=SystemConfig(n_cores=2, banks_per_channel=8),
+            n_requests=80,
+        )
+        assert runner.speedup("gcc", None, None) == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Unit tests for performance metrics and the energy model."""
+
+import pytest
+
+from repro.dram.commands import CommandCounts
+from repro.sim.metrics import (
+    geomean,
+    geomean_over_workloads,
+    normalized_weighted_speedup,
+    relative_acts,
+)
+from repro.sim.stats import EnergyBreakdown, SimResult, energy_of
+
+
+def make_result(core_cycles, core_requests, **counts):
+    return SimResult(
+        elapsed_cycles=max(core_cycles),
+        core_cycles=list(core_cycles),
+        core_requests=list(core_requests),
+        counts=CommandCounts(**counts),
+    )
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_over_workloads(self):
+        assert geomean_over_workloads({"a": 1.0, "b": 4.0}) == pytest.approx(2.0)
+
+
+class TestWeightedSpeedup:
+    def test_identical_runs_give_one(self):
+        result = make_result([100, 100], [50, 50])
+        assert normalized_weighted_speedup(result, result) == 1.0
+
+    def test_half_speed_gives_half(self):
+        base = make_result([100, 100], [50, 50])
+        slow = make_result([200, 200], [50, 50])
+        assert normalized_weighted_speedup(slow, base) == pytest.approx(0.5)
+
+    def test_mismatched_cores_rejected(self):
+        base = make_result([100], [50])
+        other = make_result([100, 100], [50, 50])
+        with pytest.raises(ValueError):
+            normalized_weighted_speedup(other, base)
+
+
+class TestRelativeActs:
+    def test_fig14_normalization(self):
+        base = make_result([100], [50], demand_acts=100)
+        result = make_result([100], [50], demand_acts=120, mitigative_acts=30)
+        ratios = relative_acts(result, base)
+        assert ratios["demand"] == pytest.approx(1.2)
+        assert ratios["mitigative"] == pytest.approx(0.3)
+        assert ratios["total"] == pytest.approx(1.5)
+
+    def test_zero_baseline_rejected(self):
+        base = make_result([100], [50])
+        with pytest.raises(ValueError):
+            relative_acts(base, base)
+
+
+class TestEnergyModel:
+    def test_components_sum(self):
+        counts = CommandCounts(demand_acts=100, reads=200, refreshes=2)
+        breakdown = energy_of(counts, elapsed_cycles=1000)
+        assert breakdown.total == pytest.approx(
+            breakdown.activation
+            + breakdown.column
+            + breakdown.background
+            + breakdown.refresh
+        )
+
+    def test_activation_share(self):
+        breakdown = EnergyBreakdown(
+            activation=11.0, column=50.0, background=37.0, refresh=2.0
+        )
+        assert breakdown.activation_share == pytest.approx(0.11)
+
+    def test_more_acts_more_energy(self):
+        few = energy_of(CommandCounts(demand_acts=10, reads=100), 1000)
+        many = energy_of(CommandCounts(demand_acts=50, reads=100), 1000)
+        assert many.total > few.total
+
+    def test_sim_result_summary(self):
+        result = make_result([10], [5], demand_acts=3, reads=5)
+        summary = result.summary()
+        assert summary["demand_acts"] == 3.0
+        assert "energy" in summary
+
+    def test_core_rates(self):
+        result = make_result([100, 200], [50, 50])
+        assert result.core_rates() == [0.5, 0.25]
+
+    def test_hit_rate_empty(self):
+        assert make_result([1], [0]).hit_rate == 0.0

@@ -1,0 +1,134 @@
+"""Unit tests for the Row-Press mitigation schemes."""
+
+import pytest
+
+from repro.core.mitigation import (
+    ExpressScheme,
+    ImpressNScheme,
+    ImpressPScheme,
+    NoRpScheme,
+)
+from repro.trackers.base import AccountingTracker
+
+
+def make(scheme_cls, timings, **kwargs):
+    tracker = AccountingTracker()
+    return scheme_cls([tracker], timings, **kwargs), tracker
+
+
+class TestNoRp:
+    def test_records_one_per_act(self, timings):
+        scheme, tracker = make(NoRpScheme, timings)
+        scheme.on_activate(0, 7, 0)
+        scheme.on_row_closed(0, 7, 0, timings.tREFI)
+        assert tracker.recorded_for(7) == 1.0
+
+    def test_no_tmro(self, timings):
+        scheme, _ = make(NoRpScheme, timings)
+        assert scheme.tmro_cycles() is None
+
+    def test_requires_trackers(self, timings):
+        with pytest.raises(ValueError):
+            NoRpScheme([], timings)
+
+
+class TestExpress:
+    def test_publishes_tmro(self, timings):
+        scheme, _ = make(ExpressScheme, timings, tmro_cycles=224)
+        assert scheme.tmro_cycles() == 224
+
+    def test_rejects_tmro_below_tras(self, timings):
+        with pytest.raises(ValueError):
+            ExpressScheme([AccountingTracker()], timings, tmro_cycles=10)
+
+    def test_records_like_no_rp(self, timings):
+        scheme, tracker = make(ExpressScheme, timings, tmro_cycles=224)
+        scheme.on_activate(0, 7, 0)
+        assert tracker.recorded_for(7) == 1.0
+
+
+class TestImpressN:
+    def test_act_records_one(self, timings):
+        scheme, tracker = make(ImpressNScheme, timings)
+        scheme.on_activate(0, 7, 0)
+        assert tracker.recorded_for(7) == 1.0
+
+    def test_full_window_earns_credit(self, timings):
+        scheme, tracker = make(ImpressNScheme, timings)
+        trc = timings.tRC
+        scheme.on_activate(0, 7, 0)
+        # Open from 0 (visible from tACT) through three full windows.
+        scheme.on_row_closed(0, 7, 0, 3 * trc)
+        # Visible at boundaries tRC, 2 tRC, 3 tRC -> two boundary pairs.
+        assert tracker.recorded_for(7) == 1.0 + 2.0
+
+    def test_fig10_decoy_earns_no_credit(self, timings):
+        # ACT within tACT of the boundary, open for tRC + tRAS: the row
+        # is visible at only one boundary, so no window credit (Eq 5).
+        scheme, tracker = make(ImpressNScheme, timings)
+        trc = timings.tRC
+        act = trc - timings.tACT // 2
+        scheme.on_activate(0, 7, act)
+        scheme.on_row_closed(0, 7, act, act + trc + timings.tRAS)
+        assert tracker.recorded_for(7) == 1.0
+
+    def test_trefi_open_earns_many_credits(self, timings):
+        scheme, tracker = make(ImpressNScheme, timings)
+        scheme.on_activate(0, 7, 0)
+        scheme.on_row_closed(0, 7, 0, timings.tREFI)
+        credits = tracker.recorded_for(7) - 1.0
+        expected = timings.tREFI // timings.tRC - 1
+        assert credits == pytest.approx(expected)
+
+    def test_storage_is_four_bytes(self, timings):
+        scheme, _ = make(ImpressNScheme, timings)
+        assert scheme.storage_bytes_per_bank() == 4
+
+
+class TestImpressP:
+    def test_act_records_nothing_until_close(self, timings):
+        scheme, tracker = make(ImpressPScheme, timings)
+        scheme.on_activate(0, 7, 0)
+        assert tracker.recorded_for(7) == 0.0
+
+    def test_minimal_access_records_one(self, timings):
+        scheme, tracker = make(ImpressPScheme, timings)
+        scheme.on_activate(0, 7, 0)
+        scheme.on_row_closed(0, 7, 0, timings.tRAS)
+        assert tracker.recorded_for(7) == pytest.approx(1.0)
+
+    def test_fractional_eact(self, timings):
+        scheme, tracker = make(ImpressPScheme, timings)
+        scheme.on_activate(0, 7, 0)
+        # tON = tRAS + tRC/2: EACT = 1.5 (the paper's example).
+        scheme.on_row_closed(0, 7, 0, timings.tRAS + timings.tRC // 2)
+        assert tracker.recorded_for(7) == pytest.approx(1.5)
+
+    def test_quantization_truncates(self, timings):
+        scheme, tracker = make(ImpressPScheme, timings, fraction_bits=0)
+        scheme.on_activate(0, 7, 0)
+        scheme.on_row_closed(0, 7, 0, timings.tRAS + timings.tRC - 1)
+        assert tracker.recorded_for(7) == 1.0
+
+    def test_fig10_decoy_fully_charged(self, timings):
+        # Against ImPress-P the decoy pattern gains nothing: the full
+        # open time is measured regardless of window phase.
+        scheme, tracker = make(ImpressPScheme, timings)
+        trc = timings.tRC
+        act = trc - timings.tACT // 2
+        close = act + trc + timings.tRAS
+        scheme.on_activate(0, 7, act)
+        scheme.on_row_closed(0, 7, act, close)
+        assert tracker.recorded_for(7) == pytest.approx(2.0)
+
+    def test_rejects_negative_bits(self, timings):
+        with pytest.raises(ValueError):
+            ImpressPScheme([AccountingTracker()], timings, fraction_bits=-1)
+
+    def test_per_bank_isolation(self, timings):
+        trackers = [AccountingTracker(), AccountingTracker()]
+        scheme = ImpressPScheme(trackers, timings)
+        scheme.on_activate(1, 7, 0)
+        scheme.on_row_closed(1, 7, 0, timings.tRAS)
+        assert trackers[0].recorded_for(7) == 0.0
+        assert trackers[1].recorded_for(7) == pytest.approx(1.0)

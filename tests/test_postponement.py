@@ -1,0 +1,71 @@
+"""Refresh-postponement analysis: how long can a Row-Press round last?
+
+Section II-D/E: without postponement a row stays open at most one
+tREFI; DDR5 allows 5x, DDR4 9x.  The paper notes a 30 ms open row could
+flip a bit in a *single* round — but DDR specifications cap open time
+far below that.  These tests tie the refresh model to the charge model.
+"""
+
+import pytest
+
+from repro.core.charge import ALPHA_LONG, ConservativeLinearModel
+from repro.dram.refresh import DDR4_MAX_POSTPONED, RefreshScheduler
+from repro.dram.timing import CycleTimings, ddr4_timings
+
+PAPER_TRH = 4800.0  # the Kim et al. characterization the paper cites
+
+
+class TestSingleRoundFlip:
+    def test_30ms_single_round_exceeds_critical_charge(self, timings):
+        # The paper's thought experiment: 30 ms of open row leaks far
+        # more than TRH units even at alpha = 0.48.
+        model = ConservativeLinearModel(alpha=ALPHA_LONG)
+        ton_trc = 30e6 / 48.0  # 30 ms in tRC units
+        assert model.tcl_of_open_time(ton_trc) > PAPER_TRH
+
+    def test_minimum_flip_time_far_exceeds_spec_limits(self, timings):
+        # Solve TCL(tON) = TRH for tON: the single-round flip needs
+        # ~0.5 ms of open time, two orders beyond what refresh allows.
+        model = ConservativeLinearModel(alpha=ALPHA_LONG)
+        ton_trc = (PAPER_TRH - 1.0) / model.alpha + model.tras_trc
+        ton_cycles = ton_trc * timings.tRC
+        scheduler = RefreshScheduler(timings, postpone=True)
+        assert ton_cycles > scheduler.max_row_open_cycles()
+        assert ton_cycles > timings.tONMAX
+
+    def test_ddr5_postponed_round_damage(self, timings):
+        # 5 tREFI of open row at alpha = 0.48: ~195 activations' worth.
+        model = ConservativeLinearModel(alpha=ALPHA_LONG)
+        scheduler = RefreshScheduler(timings, postpone=True)
+        ton_trc = scheduler.max_row_open_cycles() / timings.tRC
+        damage = model.tcl_of_open_time(ton_trc - 0.25)
+        assert 150 < damage < 250
+
+    def test_ddr4_postponement_worse_than_ddr5(self):
+        ddr4 = CycleTimings.from_ns(ddr4_timings())
+        ddr4_sched = RefreshScheduler(
+            ddr4, postpone=True, max_postponed=DDR4_MAX_POSTPONED
+        )
+        model = ConservativeLinearModel(alpha=ALPHA_LONG)
+        ddr4_damage = model.tcl_of_open_time(
+            ddr4_sched.max_row_open_cycles() / ddr4.tRC
+        )
+        # 9 x 7800 ns for DDR4 vs 5 x 3900 ns for DDR5: ~3.6x the
+        # per-round damage.
+        ddr5 = CycleTimings.from_ns(ddr4_timings().with_overrides(
+            tREFI=3900.0, tREFW=32e6
+        ))
+        ddr5_sched = RefreshScheduler(ddr5, postpone=True)
+        ddr5_damage = model.tcl_of_open_time(
+            ddr5_sched.max_row_open_cycles() / ddr5.tRC
+        )
+        assert ddr4_damage > 3 * ddr5_damage
+
+    def test_rounds_to_flip_matches_18x_claim(self):
+        # One tREFI (DDR4) per round at the mean device rate reduces
+        # the required rounds by ~18x vs pure Rowhammer.
+        from repro.data.rowpress import ONE_TREFI_TRC, mean_tcl_at
+
+        rounds_rp = PAPER_TRH / mean_tcl_at(ONE_TREFI_TRC)
+        rounds_rh = PAPER_TRH
+        assert rounds_rh / rounds_rp == pytest.approx(18.0, rel=0.25)

@@ -1,0 +1,115 @@
+"""Unit tests for PRAC (per-row activation counting, Section VI-F)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mitigation import ImpressPScheme
+from repro.dram.timing import default_cycle_timings
+from repro.security.verifier import replay_pattern
+from repro.trackers.base import AccountingTracker
+from repro.trackers.prac import DEFAULT_ROWS_PER_BANK, PracTracker
+
+
+class TestAlertFlow:
+    def test_alert_at_threshold(self):
+        tracker = PracTracker(alert_threshold=3, rows_per_bank=16)
+        assert tracker.record(5) == []
+        assert tracker.record(5) == []
+        assert tracker.record(5) == [5]
+        assert tracker.alerts == 1
+
+    def test_counter_resets_after_alert(self):
+        tracker = PracTracker(alert_threshold=2, rows_per_bank=16)
+        tracker.record(5)
+        tracker.record(5)
+        assert tracker.count_for(5) == 0.0
+
+    def test_every_row_has_its_own_counter(self):
+        # PRAC's defining property: no Misra-Gries eviction, every row
+        # is tracked exactly no matter how many distinct rows are hit.
+        tracker = PracTracker(alert_threshold=1000, rows_per_bank=4096)
+        for row in range(4096):
+            tracker.record(row)
+        assert all(tracker.count_for(row) == 1.0 for row in range(4096))
+
+    def test_rejects_out_of_range_row(self):
+        tracker = PracTracker(alert_threshold=2, rows_per_bank=4)
+        with pytest.raises(ValueError):
+            tracker.record(4)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PracTracker(alert_threshold=0)
+        with pytest.raises(ValueError):
+            PracTracker(alert_threshold=2, rows_per_bank=0)
+        with pytest.raises(ValueError):
+            PracTracker(alert_threshold=2, fraction_bits=-1)
+
+    def test_reset(self):
+        tracker = PracTracker(alert_threshold=5, rows_per_bank=16)
+        tracker.record(3)
+        tracker.reset()
+        assert tracker.count_for(3) == 0.0
+
+
+class TestImpressOnPrac:
+    def test_fractional_eact_counts(self):
+        tracker = PracTracker(
+            alert_threshold=3, rows_per_bank=16, fraction_bits=7
+        )
+        assert tracker.record(5, weight=1.5) == []
+        assert tracker.record(5, weight=1.5) == [5]
+
+    def test_impress_p_scheme_drives_prac(self):
+        timings = default_cycle_timings()
+        tracker = PracTracker(
+            alert_threshold=4, rows_per_bank=2048, fraction_bits=7
+        )
+        scheme = ImpressPScheme([tracker], timings)
+        # Two accesses each open for tRAS + tRC (EACT = 2) reach the
+        # alert threshold of 4.
+        ton = timings.tRAS + timings.tRC
+        scheme.on_activate(0, 9, 0)
+        assert scheme.on_row_closed(0, 9, 0, ton) == []
+        scheme.on_activate(0, 9, 10_000)
+        assert scheme.on_row_closed(0, 9, 10_000, 10_000 + ton) == [9]
+
+    def test_storage_widens_by_fraction_bits(self):
+        base = PracTracker(alert_threshold=1000, fraction_bits=0)
+        precise = PracTracker(alert_threshold=1000, fraction_bits=7)
+        assert (
+            precise.storage_bits_per_row()
+            == base.storage_bits_per_row() + 7
+        )
+
+    def test_storage_kib_scale(self):
+        tracker = PracTracker(alert_threshold=1000)
+        # 64K rows x 10 bits = 80 KiB per bank.
+        assert tracker.rows_per_bank == DEFAULT_ROWS_PER_BANK
+        assert tracker.storage_kib_per_bank() == pytest.approx(80.0)
+
+    @given(st.floats(min_value=1.0, max_value=8.0))
+    def test_prac_never_undercounts_vs_accounting(self, eact):
+        # With full fractional precision PRAC's counter matches the
+        # exact accounting within one quantum per access.
+        prac = PracTracker(
+            alert_threshold=10_000, rows_per_bank=16, fraction_bits=7
+        )
+        exact = AccountingTracker()
+        for _ in range(10):
+            prac.record(3, weight=eact)
+            exact.record(3, weight=eact)
+        assert prac.count_for(3) >= exact.recorded_for(3) - 10 / 128
+
+
+class TestPracSecurity:
+    def test_prac_impress_p_keeps_threshold(self):
+        # The Fig-10 decoy gains nothing against PRAC + ImPress-P.
+        from repro.workloads.attacks import decoy_pattern_accesses
+
+        timings = default_cycle_timings()
+        tracker = AccountingTracker()
+        scheme = ImpressPScheme([tracker], timings, fraction_bits=7)
+        accesses = decoy_pattern_accesses(7, 8, 32, timings)
+        result = replay_pattern(scheme, accesses, 7, 1.0, timings)
+        assert result.ratio <= 1.0 + 1e-9

@@ -1,0 +1,68 @@
+"""Unit tests for refresh scheduling and postponement."""
+
+import pytest
+
+from repro.dram.refresh import (
+    DDR4_MAX_POSTPONED,
+    DDR5_MAX_POSTPONED,
+    RefreshScheduler,
+)
+
+
+class TestBasicSchedule:
+    def test_not_due_before_trefi(self, timings):
+        scheduler = RefreshScheduler(timings)
+        assert not scheduler.due(timings.tREFI - 1)
+        assert scheduler.due(timings.tREFI)
+
+    def test_issue_advances(self, timings):
+        scheduler = RefreshScheduler(timings)
+        scheduler.issue(timings.tREFI)
+        assert not scheduler.due(timings.tREFI + 1)
+        assert scheduler.due(2 * timings.tREFI)
+        assert scheduler.issued == 1
+
+    def test_phase_offset(self, timings):
+        scheduler = RefreshScheduler(timings, phase_offset=100)
+        assert scheduler.next_due == timings.tREFI + 100
+
+
+class TestPostponement:
+    def test_defer_consumes_credit(self, timings):
+        scheduler = RefreshScheduler(timings, postpone=True)
+        cycle = timings.tREFI
+        for _ in range(DDR5_MAX_POSTPONED):
+            assert scheduler.pending(cycle)
+            assert not scheduler.due(cycle)
+            scheduler.defer()
+            cycle += timings.tREFI
+        # Budget exhausted: now the refresh is mandatory.
+        assert scheduler.due(cycle)
+
+    def test_defer_without_credit_raises(self, timings):
+        scheduler = RefreshScheduler(timings, postpone=True, max_postponed=0)
+        with pytest.raises(RuntimeError):
+            scheduler.defer()
+
+    def test_issue_repays_postponement(self, timings):
+        scheduler = RefreshScheduler(timings, postpone=True)
+        scheduler.defer()
+        assert scheduler.postponed == 1
+        scheduler.issue(2 * timings.tREFI)
+        assert scheduler.postponed == 0
+
+
+class TestMaxRowOpen:
+    def test_without_postponement_one_trefi(self, timings):
+        scheduler = RefreshScheduler(timings)
+        assert scheduler.max_row_open_cycles() == timings.tREFI
+
+    def test_ddr5_postponement_is_5x(self, timings):
+        scheduler = RefreshScheduler(timings, postpone=True)
+        assert scheduler.max_row_open_cycles() == 5 * timings.tREFI
+
+    def test_ddr4_postponement_is_9x(self, timings):
+        scheduler = RefreshScheduler(
+            timings, postpone=True, max_postponed=DDR4_MAX_POSTPONED
+        )
+        assert scheduler.max_row_open_cycles() == 9 * timings.tREFI

@@ -1,0 +1,88 @@
+"""Tests for the re-derived Row-Press characterization datasets."""
+
+import pytest
+
+from repro.core.charge import ALPHA_LONG, ALPHA_SHORT, fit_clm
+from repro.data.rowpress import (
+    FIG4_TMRO_THRESHOLD,
+    NINE_TREFI_TRC,
+    ONE_TREFI_TRC,
+    SHORT_DURATION_POINTS,
+    long_duration_devices,
+    long_duration_points,
+    mean_tcl_at,
+    relative_threshold_at_tmro,
+)
+
+
+class TestShortDuration:
+    def test_clm_fit_recovers_paper_alpha(self):
+        # Fig 8: the conservative cover of the short-duration data is
+        # alpha = 0.35.
+        assert fit_clm(SHORT_DURATION_POINTS).alpha == pytest.approx(0.35)
+
+    def test_minimum_point_is_rowhammer(self):
+        assert SHORT_DURATION_POINTS[0] == (1.0, 1.0)
+
+    def test_sublinear_secants(self):
+        # Charge loss per unit time decreases with duration.
+        slopes = [
+            (tcl - 1.0) / (total - 1.0)
+            for total, tcl in SHORT_DURATION_POINTS
+            if total > 1.0
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(slopes, slopes[1:]))
+
+
+class TestFig4Table:
+    def test_anchor_062_at_186ns(self):
+        assert relative_threshold_at_tmro(186.0) == pytest.approx(0.62)
+
+    def test_no_reduction_at_tras(self):
+        assert relative_threshold_at_tmro(36.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        values = [t for _, t in FIG4_TMRO_THRESHOLD]
+        assert values == sorted(values, reverse=True)
+
+    def test_interpolation_between_points(self):
+        mid = relative_threshold_at_tmro(51.0)
+        assert 0.826 < mid < 1.0
+
+    def test_clamps_outside_range(self):
+        assert relative_threshold_at_tmro(10.0) == 1.0
+        assert relative_threshold_at_tmro(10_000.0) == FIG4_TMRO_THRESHOLD[-1][1]
+
+
+class TestLongDuration:
+    def test_21_devices_three_vendors(self):
+        devices = long_duration_devices()
+        assert len(devices) == 21
+        by_vendor = {}
+        for device in devices:
+            by_vendor.setdefault(device.vendor, []).append(device)
+        assert len(by_vendor["Samsung"]) == 8
+        assert len(by_vendor["Hynix"]) == 6
+        assert len(by_vendor["Micron"]) == 7
+
+    def test_alpha_048_covers_all_devices(self):
+        # Fig 7: no device point lies above the alpha = 0.48 line.
+        fitted = fit_clm(long_duration_points())
+        assert fitted.alpha <= ALPHA_LONG
+        assert fitted.alpha > ALPHA_LONG - 0.03  # worst device is close
+
+    def test_mean_reduction_about_18x_at_one_trefi(self):
+        # Section II-D: one tREFI of Row-Press is worth ~18x activations.
+        assert mean_tcl_at(ONE_TREFI_TRC) == pytest.approx(18.0, rel=0.25)
+
+    def test_mean_reduction_about_156x_at_nine_trefi(self):
+        assert mean_tcl_at(NINE_TREFI_TRC) == pytest.approx(156.0, rel=0.25)
+
+    def test_rowpress_always_slower_than_rowhammer(self):
+        # Key observation 1: even the worst device leaks less than RH
+        # would over the same duration.
+        for time_trc, tcl in long_duration_points():
+            assert tcl < time_trc
+
+    def test_short_alpha_below_long_alpha(self):
+        assert ALPHA_SHORT < ALPHA_LONG

@@ -1,0 +1,92 @@
+"""Unit tests for DRAM timing parameters and cycle conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.timing import (
+    CycleTimings,
+    DramClock,
+    TimingParams,
+    ddr4_timings,
+    ddr5_timings,
+    default_cycle_timings,
+)
+
+
+class TestTimingParams:
+    def test_table1_defaults(self):
+        params = ddr5_timings()
+        assert params.tACT == 12.0
+        assert params.tPRE == 12.0
+        assert params.tRAS == 36.0
+        assert params.tRC == 48.0
+        assert params.tREFW == 32e6
+        assert params.tREFI == 3900.0
+        assert params.tRFC == 350.0
+        assert params.tONMAX == 19500.0
+
+    def test_trc_covers_ras_plus_pre(self):
+        params = ddr5_timings()
+        assert params.tRC == params.tRAS + params.tPRE
+
+    def test_ddr4_trefi(self):
+        assert ddr4_timings().tREFI == 7800.0
+
+    def test_refresh_groups_near_8192(self):
+        # 32 ms / 3900 ns = 8205 pulse slots; the paper rounds to 8192.
+        assert 8000 < ddr5_timings().refresh_groups < 8400
+
+    def test_rejects_inverted_ras(self):
+        with pytest.raises(ValueError):
+            TimingParams(tRAS=10.0, tACT=12.0)
+
+    def test_rejects_small_trc(self):
+        with pytest.raises(ValueError):
+            TimingParams(tRC=40.0)
+
+    def test_rejects_nonpositive_refresh(self):
+        with pytest.raises(ValueError):
+            TimingParams(tREFI=0.0)
+
+    def test_with_overrides(self):
+        params = ddr5_timings().with_overrides(tREFI=7800.0)
+        assert params.tREFI == 7800.0
+        assert params.tRC == 48.0
+
+
+class TestDramClock:
+    def test_trc_is_128_cycles(self, clock):
+        assert clock.cycles(48.0) == 128
+
+    def test_roundtrip(self, clock):
+        assert clock.ns(clock.cycles(3900.0)) == pytest.approx(3900.0, rel=1e-2)
+
+    def test_ceil_cycles_at_least_cycles(self, clock):
+        assert clock.ceil_cycles(48.0) >= 128
+
+    @given(st.floats(min_value=0.1, max_value=1e6))
+    def test_cycles_monotone(self, time_ns):
+        clock = DramClock()
+        assert clock.cycles(time_ns) <= clock.cycles(time_ns * 2) + 1
+
+
+class TestCycleTimings:
+    def test_shift_is_7(self, timings):
+        assert timings.tRC == 128
+        assert timings.trc_shift == 7
+
+    def test_tras_tpre_sum_to_trc(self, timings):
+        assert timings.tRAS + timings.tPRE == timings.tRC
+
+    def test_eact_of_one_trc(self, timings):
+        assert timings.eact_of_cycles(timings.tRC) == pytest.approx(1.0)
+
+    def test_no_shift_for_non_power_of_two(self):
+        odd = CycleTimings.from_ns(
+            ddr5_timings(), DramClock(freq_ghz=2.5)
+        )
+        assert odd.tRC == 120
+        assert odd.trc_shift is None
+
+    def test_default_factory(self):
+        assert default_cycle_timings().tRC == 128
