@@ -2,6 +2,11 @@
 
 Commands:
 
+* ``run`` — orchestrate registered experiments across a process pool
+  (``--jobs N --only fig13,table2 --force``), with disk-backed result
+  caching and JSON/Markdown artifacts under ``results/``.
+* ``list-experiments`` — show every registered experiment with its
+  tags, cost estimate and paper reference.
 * ``experiment <name>`` — run one experiment module (fig3, fig13,
   tables, ablation, ...) and print its series.
 * ``verify`` — report the effective threshold of every scheme under
@@ -13,9 +18,12 @@ Commands:
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import List, Optional
 
 from . import experiments
+from .experiments import registry
+from .experiments.orchestrator import Orchestrator
 from .core.analysis import impress_n_effective_threshold
 from .dram.timing import default_cycle_timings
 from .security.verifier import effective_threshold
@@ -49,6 +57,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.name!r}; choose from: {known}")
         return 2
     module.main()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+    try:
+        orchestrator = Orchestrator(
+            results_dir=Path(args.results_dir),
+            jobs=args.jobs,
+            force=args.force,
+            quick=not args.full,
+            n_requests=args.requests,
+            seed=args.seed,
+            progress=print,
+        )
+        report = orchestrator.run(only=only)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0])
+        return 2
+    executed = sum(1 for o in report.outcomes if not o.cached)
+    print(
+        f"\n{len(report.outcomes)} experiment(s) "
+        f"({executed} executed, {len(report.outcomes) - executed} cached) "
+        f"in {report.wall_s:.1f}s with {report.jobs} job(s)"
+    )
+    print(f"artifacts: {report.results_dir}/  "
+          f"report: {report.results_dir}/REPORT.md")
+    for row in report.comparison_rows():
+        if row["paper"] is None:
+            continue
+        print(
+            f"  {row['experiment']:>8} {row['metric']:<28} "
+            f"paper {row['paper']:>8.4g}  measured {row['measured']:>8.4g}"
+        )
+    return 0
+
+
+def _cmd_list_experiments(args: argparse.Namespace) -> int:
+    print(f"{'name':<10} {'cost':>6}  {'tags':<28} {'paper ref':<28} title")
+    for exp in registry.all_experiments():
+        tags = ",".join(exp.tags)
+        print(
+            f"{exp.name:<10} {exp.cost:>6.1f}  {tags:<28} "
+            f"{exp.paper_ref:<28} {exp.title}"
+        )
     return 0
 
 
@@ -111,6 +166,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run",
+        help="orchestrate registered experiments (parallel, cached)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    run.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment names and/or tags "
+             "(e.g. fig13,table2 or simulation)",
+    )
+    run.add_argument(
+        "--force", action="store_true",
+        help="re-run even when a cached result exists",
+    )
+    run.add_argument(
+        "--full", action="store_true",
+        help="full 20-workload sweeps instead of the quick set",
+    )
+    run.add_argument(
+        "--requests", type=int, default=800,
+        help="requests per core for simulation experiments",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--results-dir", default="results",
+        help="artifact/cache directory (default: results/)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    list_experiments = sub.add_parser(
+        "list-experiments", help="list every registered experiment"
+    )
+    list_experiments.set_defaults(func=_cmd_list_experiments)
 
     experiment = sub.add_parser("experiment", help="run one experiment")
     experiment.add_argument("name", help="fig3, fig13, tables, all, ...")

@@ -169,6 +169,7 @@ class PowerLawFit:
     tpre_trc: float = TPRE_TRC
 
     def tcl_of_attack_time(self, total_trc: float) -> float:
+        """TCL of a round whose total duration (tON + tPRE) is given."""
         extra = total_trc - self.tpre_trc - self.tras_trc
         if extra <= 0:
             return 1.0

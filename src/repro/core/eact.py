@@ -69,6 +69,7 @@ class FixedPointCounter:
 
     @property
     def scale(self) -> int:
+        """Fixed-point denominator: raw counts are in 1/scale ACT units."""
         return 1 << self.fraction_bits
 
     @property
@@ -84,6 +85,7 @@ class FixedPointCounter:
         return self.value
 
     def reset(self, value: float = 0.0) -> None:
+        """Set the counter to ``value`` ACT units (e.g. the spill floor)."""
         self.raw = int(value * self.scale)
 
     def storage_bits(self, max_count: int) -> int:

@@ -46,6 +46,7 @@ class MitigationScheme(abc.ABC):
         self.timings = timings
 
     def tracker_for(self, bank: int) -> Tracker:
+        """The per-bank tracker instance receiving this bank's records."""
         return self.trackers[bank]
 
     def tmro_cycles(self) -> Optional[int]:
@@ -100,6 +101,7 @@ class ExpressScheme(MitigationScheme):
         self._tmro = tmro_cycles
 
     def tmro_cycles(self) -> Optional[int]:
+        """The tMRO row-open limit the controller enforces for ExPress."""
         return self._tmro
 
 
@@ -129,6 +131,7 @@ class ImpressNScheme(MitigationScheme):
     def on_row_closed(
         self, bank: int, row: int, act_cycle: int, close_cycle: int
     ) -> List[int]:
+        """Credit one ACT per full tRC window the row stayed open (Fig 9)."""
         trc = self.timings.tRC
         visible_from = act_cycle + self.timings.tACT
         first_boundary = -(-visible_from // trc)  # ceil division
@@ -169,12 +172,13 @@ class ImpressPScheme(MitigationScheme):
         self.fraction_bits = fraction_bits
 
     def on_activate(self, bank: int, row: int, cycle: int) -> List[int]:
-        # Damage is recorded at close time, once tON is known.
+        """No-op: damage is recorded at close time, once tON is known."""
         return []
 
     def on_row_closed(
         self, bank: int, row: int, act_cycle: int, close_cycle: int
     ) -> List[int]:
+        """Record the access's quantized EACT = (tON + tPRE)/tRC (Fig 11)."""
         total_cycles = close_cycle - act_cycle + self.timings.tPRE
         eact = quantize_eact(total_cycles / self.timings.tRC, self.fraction_bits)
         return self.tracker_for(bank).record(row, eact, close_cycle)

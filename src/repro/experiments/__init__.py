@@ -1,8 +1,11 @@
 """One module per table/figure of the paper's evaluation.
 
-See DESIGN.md's experiment index for the full mapping.  Each module
-exposes ``run(...)`` returning the figure's data series and ``main()``
-printing them; :mod:`repro.experiments.runner` drives them all.
+Each module exposes ``run(...)`` returning the figure's data series and
+``main()`` printing them, and registers its experiments with
+:mod:`repro.experiments.registry` (name, tags, cost estimate).  The
+registry is what :mod:`repro.experiments.runner` (serial) and
+:mod:`repro.experiments.orchestrator` (parallel, cached, artifact-
+writing) drive; see ``docs/adding_an_experiment.md`` for the API.
 """
 
 from . import (  # noqa: F401
@@ -19,6 +22,8 @@ from . import (  # noqa: F401
     fig15,
     fig16,
     fig18_19,
+    orchestrator,
+    registry,
     runner,
     tables,
 )
@@ -37,6 +42,8 @@ __all__ = [
     "fig15",
     "fig16",
     "fig18_19",
+    "orchestrator",
+    "registry",
     "runner",
     "tables",
 ]

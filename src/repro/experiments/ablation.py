@@ -148,3 +148,24 @@ def main(quick: bool = True) -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="ablation",
+    title="Design-choice ablations (alpha, RFMTH, MOP, page policy, DSAC)",
+    paper_ref="Sections V-VII",
+    tags=("simulation", "ablation"),
+    cost=10.0,
+    summarize=lambda data: {
+        "dsac_underestimation_ton256": next(
+            row["underestimation"]
+            for row in data["dsac"] if row["ton_trc"] == 256.0
+        ),
+    },
+)
+def _experiment(ctx: RunContext):
+    return run(quick=ctx.quick)

@@ -64,3 +64,24 @@ def main(quick: bool = True) -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="energy",
+    title="Activation and DRAM energy overheads",
+    paper_ref="Section VI-E",
+    tags=("simulation", "paper"),
+    cost=40.0,
+    summarize=lambda data: {
+        "activation_share": data["baseline"]["activation_share"],
+        "graphene_express_energy": data["graphene"]["express"],
+        "graphene_impress_p_energy": data["graphene"]["impress-p"],
+    },
+    paper_values={"activation_share": 0.11},
+)
+def _experiment(ctx: RunContext):
+    return run(ctx.sweep_runner(), quick=ctx.quick)

@@ -48,3 +48,28 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+def _summarize(rows):
+    by_bits = {row["fraction_bits"]: row for row in rows}
+    return {
+        "t_star_ratio_b0": by_bits[0]["relative_threshold_verified"],
+        "t_star_ratio_b7": by_bits[7]["relative_threshold_verified"],
+    }
+
+
+@register(
+    name="fig12",
+    title="ImPress-P effective threshold vs fractional counter bits",
+    paper_ref="Figure 12 (Section VI-B)",
+    tags=("figure", "analytic", "paper"),
+    cost=1.0,
+    summarize=_summarize,
+    paper_values={"t_star_ratio_b0": 0.5, "t_star_ratio_b7": 1.0},
+)
+def _experiment(ctx: RunContext):
+    return run()

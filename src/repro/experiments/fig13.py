@@ -71,3 +71,31 @@ def main(quick: bool = True) -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="fig13",
+    title="Scheme comparison per tracker at alpha = 1",
+    paper_ref="Figure 13 (Section VI-D)",
+    tags=("figure", "simulation", "paper"),
+    cost=65.0,
+    summarize=lambda data: {
+        "graphene_impress_p_spec": data["graphene"]["impress-p"]["SPEC (GMean)"],
+        "graphene_impress_p_stream": (
+            data["graphene"]["impress-p"]["STREAM (GMean)"]
+        ),
+        "graphene_express_stream": data["graphene"]["express"]["STREAM (GMean)"],
+        "mint_impress_p_spec": data["mint"]["impress-p"]["SPEC (GMean)"],
+    },
+    paper_values={
+        "graphene_impress_p_spec": 1.0,
+        "graphene_impress_p_stream": 1.0,
+        "mint_impress_p_spec": 1.0,
+    },
+)
+def _experiment(ctx: RunContext):
+    return run(ctx.sweep_runner(), quick=ctx.quick)

@@ -59,3 +59,26 @@ def main(quick: bool = True) -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="fig14",
+    title="Relative activations: demand vs mitigative",
+    paper_ref="Figure 14 (Section VI-D)",
+    tags=("figure", "simulation", "paper"),
+    cost=40.0,
+    summarize=lambda data: {
+        "graphene_express_demand": data["graphene"]["express"]["demand"],
+        "graphene_impress_p_demand": data["graphene"]["impress-p"]["demand"],
+    },
+    paper_values={
+        "graphene_express_demand": 1.56,
+        "graphene_impress_p_demand": 1.0,
+    },
+)
+def _experiment(ctx: RunContext):
+    return run(ctx.sweep_runner(), quick=ctx.quick)

@@ -55,3 +55,22 @@ def main(quick: bool = True) -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="fig15",
+    title="Scalability to lower Rowhammer thresholds",
+    paper_ref="Figure 15 (Section VI-D)",
+    tags=("figure", "simulation", "paper"),
+    cost=100.0,
+    summarize=lambda data: {
+        "graphene_impress_p_trh1000": data["graphene"]["impress-p"][1000.0],
+        "graphene_no_rp_trh1000": data["graphene"]["no-rp"][1000.0],
+    },
+)
+def _experiment(ctx: RunContext):
+    return run(ctx.sweep_runner(), quick=ctx.quick)

@@ -70,3 +70,26 @@ def main(quick: bool = True) -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="fig16",
+    title="ExPress vs ImPress-N at alpha = 0.35 and 1",
+    paper_ref="Figure 16 (Appendix A)",
+    tags=("figure", "simulation", "paper"),
+    cost=70.0,
+    summarize=lambda data: {
+        "graphene_impress_n_a1_stream": (
+            data["graphene"]["impress-n a=1.0"]["STREAM (GMean)"]
+        ),
+        "graphene_express_a1_stream": (
+            data["graphene"]["express a=1.0"]["STREAM (GMean)"]
+        ),
+    },
+)
+def _experiment(ctx: RunContext):
+    return run(ctx.sweep_runner(), quick=ctx.quick)

@@ -64,3 +64,39 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="fig18",
+    title="Graphene slowdown under the K-pattern attack",
+    paper_ref="Figure 18 (Appendix B, Eq 6-9)",
+    tags=("figure", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda series: {
+        "slowdown_pct_trh4000": series[4000.0][0]["slowdown_pct"],
+    },
+    paper_values={"slowdown_pct_trh4000": 0.2},
+)
+def _fig18(ctx: RunContext):
+    return fig18_series()
+
+
+@register(
+    name="fig19",
+    title="PARA slowdown under the K-pattern attack",
+    paper_ref="Figure 19 (Appendix B, Eq 10)",
+    tags=("figure", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda series: {
+        "peak_slowdown_pct_trh1000": max(
+            row["slowdown_pct"] for row in series[1000.0]
+        ),
+    },
+    paper_values={"peak_slowdown_pct_trh1000": 400.0 / 21.0},
+)
+def _fig19(ctx: RunContext):
+    return fig19_series()

@@ -43,3 +43,23 @@ def main(quick: bool = True) -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="fig3",
+    title="Performance impact of limiting row-open time to tMRO",
+    paper_ref="Figure 3",
+    tags=("figure", "simulation", "paper"),
+    cost=40.0,
+    summarize=lambda series: {
+        "spec_gmean_tmro36": series[36.0]["SPEC (GMean)"],
+        "stream_gmean_tmro36": series[36.0]["STREAM (GMean)"],
+        "stream_gmean_tmro636": series[636.0]["STREAM (GMean)"],
+    },
+)
+def _experiment(ctx: RunContext):
+    return run(ctx.sweep_runner(), quick=ctx.quick)

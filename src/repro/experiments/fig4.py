@@ -52,3 +52,27 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+def _summarize(rows):
+    by_tmro = {row["tmro_ns"]: row for row in rows}
+    return {
+        "t_star_ratio_tmro36": by_tmro[36.0]["relative_threshold_measured"],
+        "clm_t_star_ratio_tmro36": by_tmro[36.0]["relative_threshold_clm"],
+    }
+
+
+@register(
+    name="fig4",
+    title="Reduction in tolerated threshold (T*) vs tMRO",
+    paper_ref="Figure 4",
+    tags=("figure", "analytic", "paper"),
+    cost=0.1,
+    summarize=_summarize,
+)
+def _experiment(ctx: RunContext):
+    return run()

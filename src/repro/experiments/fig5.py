@@ -74,3 +74,22 @@ def main(quick: bool = True) -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="fig5",
+    title="Graphene and PARA under ExPress as tMRO varies",
+    paper_ref="Figure 5",
+    tags=("figure", "simulation", "paper"),
+    cost=90.0,
+    summarize=lambda data: {
+        "graphene_stream_tmro36": data["graphene"]["STREAM"][36.0],
+        "para_stream_tmro36": data["para"]["STREAM"][36.0],
+    },
+)
+def _experiment(ctx: RunContext):
+    return run(ctx.sweep_runner(), quick=ctx.quick)

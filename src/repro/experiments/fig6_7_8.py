@@ -81,3 +81,49 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="fig6",
+    title="Rowhammer charge loss is perfectly linear",
+    paper_ref="Figure 6 (Eq 1)",
+    tags=("figure", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda series: {"tcl_after_5_acts": dict(series)[5]},
+    paper_values={"tcl_after_5_acts": 5.0},
+)
+def _fig6(ctx: RunContext):
+    return fig6_series()
+
+
+@register(
+    name="fig7",
+    title="Long-duration Row-Press TCL and the alpha=0.48 CLM cover",
+    paper_ref="Figure 7 (Section IV-C)",
+    tags=("figure", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda data: {
+        "fitted_alpha": data["fitted_alpha"],
+        "cover_alpha": data["clm_alpha"],
+    },
+    paper_values={"cover_alpha": 0.48},
+)
+def _fig7(ctx: RunContext):
+    return fig7_series()
+
+
+@register(
+    name="fig8",
+    title="Short-duration Row-Press: power-law fit vs alpha=0.35 CLM",
+    paper_ref="Figure 8 (Section IV-C)",
+    tags=("figure", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda data: {"clm_alpha": data["clm_alpha"]},
+    paper_values={"clm_alpha": 0.35},
+)
+def _fig8(ctx: RunContext):
+    return fig8_series()

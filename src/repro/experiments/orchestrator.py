@@ -1,0 +1,428 @@
+"""Parallel experiment orchestration over the registry.
+
+The :class:`Orchestrator` takes the registered experiments (see
+:mod:`repro.experiments.registry`), schedules them costliest-first
+across a :mod:`multiprocessing` pool, streams per-experiment progress,
+and writes three kinds of artifacts under a results directory:
+
+* ``<name>.json`` — one artifact per experiment: config, raw result
+  (JSON-converted) and headline summary metrics;
+* ``summary.json`` — the whole run: options, per-experiment status and
+  timings, and the paper-vs-measured rows;
+* ``REPORT.md`` — the human-readable paper-vs-measured report.
+
+Results are also stored in a disk cache keyed on
+``(experiment name, config hash)`` so re-runs with the same options
+skip completed work; ``force=True`` bypasses the cache.
+
+Every experiment in this codebase is a deterministic function of its
+options (all randomness is seeded per bank from ``seed``), so a
+parallel run produces identical ``result`` and ``summary`` fields to a
+serial one — the pool only changes wall-clock time (and the timing
+metadata recorded alongside), never results.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from . import registry
+from .registry import Experiment, RunContext
+
+#: Schema version embedded in artifacts; bump when the layout changes
+#: so stale cache entries are never misread.
+ARTIFACT_VERSION = 1
+
+
+def jsonify(obj: Any) -> Any:
+    """Convert an experiment result into JSON-serializable form.
+
+    Experiment results are nested dicts/lists/tuples of numbers whose
+    *keys* are sometimes floats (tMRO values, thresholds) or even
+    ``inf`` (fig 5's no-tMRO point), which JSON cannot represent as
+    keys.  All keys become strings; non-finite floats become strings so
+    the output is strict JSON.  The conversion is deterministic, so
+    equality of jsonified results is equality of experiments.
+    """
+    if isinstance(obj, Mapping):
+        return {str(key): jsonify(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(value) for value in obj]
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return str(obj)
+    if isinstance(obj, (bool, int, float, str)) or obj is None:
+        return obj
+    return str(obj)
+
+
+@dataclass
+class Outcome:
+    """What happened to one scheduled experiment."""
+
+    name: str
+    cached: bool
+    duration_s: float
+    summary: Dict[str, float]
+    result: Any
+    config_hash: str
+
+    def artifact(self, options: Mapping[str, Any]) -> Dict[str, Any]:
+        return {
+            "version": ARTIFACT_VERSION,
+            "experiment": self.name,
+            "config": dict(options),
+            "config_hash": self.config_hash,
+            "cached": self.cached,
+            "duration_s": round(self.duration_s, 4),
+            "summary": self.summary,
+            "result": self.result,
+        }
+
+
+@dataclass
+class RunReport:
+    """Aggregate outcome of one orchestrated run."""
+
+    options: Dict[str, Any]
+    jobs: int
+    outcomes: List[Outcome]
+    wall_s: float
+    results_dir: Path
+
+    @property
+    def by_name(self) -> Dict[str, Outcome]:
+        return {outcome.name: outcome for outcome in self.outcomes}
+
+    def comparison_rows(self) -> List[Dict[str, Any]]:
+        """Paper-vs-measured rows for every summarized metric."""
+        rows: List[Dict[str, Any]] = []
+        for outcome in self.outcomes:
+            paper_values = registry.get(outcome.name).paper_values
+            for metric, measured in outcome.summary.items():
+                paper = paper_values.get(metric)
+                rows.append(
+                    {
+                        "experiment": outcome.name,
+                        "metric": metric,
+                        "paper": paper,
+                        "measured": measured,
+                        "ratio": (
+                            measured / paper
+                            if paper not in (None, 0) else None
+                        ),
+                    }
+                )
+        return rows
+
+    def to_markdown(self) -> str:
+        """The REPORT.md body."""
+        ran = sum(1 for o in self.outcomes if not o.cached)
+        lines = [
+            "# Experiment run report",
+            "",
+            f"- experiments: {len(self.outcomes)} "
+            f"({ran} executed, {len(self.outcomes) - ran} from cache)",
+            f"- jobs: {self.jobs}",
+            f"- options: `{json.dumps(self.options, sort_keys=True)}`",
+            f"- wall clock: {self.wall_s:.1f} s",
+            "",
+            "## Paper vs measured",
+            "",
+            "| experiment | metric | paper | measured | measured/paper |",
+            "|---|---|---:|---:|---:|",
+        ]
+        for row in self.comparison_rows():
+            paper = "—" if row["paper"] is None else f"{row['paper']:.4g}"
+            ratio = "—" if row["ratio"] is None else f"{row['ratio']:.3f}"
+            lines.append(
+                f"| {row['experiment']} | {row['metric']} "
+                f"| {paper} | {row['measured']:.4g} | {ratio} |"
+            )
+        lines += [
+            "",
+            "## Timings",
+            "",
+            "| experiment | source | seconds |",
+            "|---|---|---:|",
+        ]
+        for outcome in sorted(
+            self.outcomes, key=lambda o: o.duration_s, reverse=True
+        ):
+            source = "cache" if outcome.cached else "run"
+            lines.append(
+                f"| {outcome.name} | {source} | {outcome.duration_s:.2f} |"
+            )
+        return "\n".join(lines) + "\n"
+
+
+class OrchestratorError(RuntimeError):
+    """One or more experiments failed; carries their tracebacks."""
+
+
+#: Per-worker-process RunContext cache so experiments executed in the
+#: same worker share one SweepRunner (and therefore cached baseline
+#: simulations), mirroring what the serial path does.
+_WORKER_CONTEXTS: Dict[Tuple[Tuple[str, Any], ...], RunContext] = {}
+
+
+def _context_for(options: Mapping[str, Any]) -> RunContext:
+    key = tuple(sorted(options.items()))
+    ctx = _WORKER_CONTEXTS.get(key)
+    if ctx is None:
+        ctx = RunContext(**dict(options))
+        _WORKER_CONTEXTS[key] = ctx
+    return ctx
+
+
+def _execute(
+    payload: Tuple[str, Dict[str, Any]],
+    ctx: Optional[RunContext] = None,
+) -> Dict[str, Any]:
+    """Run one experiment in the current process (pool worker entry).
+
+    Pool workers pass no ``ctx`` and share one per-process context via
+    :data:`_WORKER_CONTEXTS`; the serial path passes a local context so
+    nothing outlives the run.  Returns a plain dict (never raises) so
+    pool communication stays picklable even when the experiment itself
+    fails.
+    """
+    name, options = payload
+    registry.ensure_loaded()
+    try:
+        experiment = registry.get(name)
+        started = time.perf_counter()
+        result = experiment.run(
+            ctx if ctx is not None else _context_for(options)
+        )
+        duration = time.perf_counter() - started
+        return {
+            "name": name,
+            "duration_s": duration,
+            "summary": experiment.summary_of(result),
+            "result": jsonify(result),
+        }
+    except Exception:
+        return {"name": name, "error": traceback.format_exc()}
+
+
+@dataclass
+class Orchestrator:
+    """Schedules registered experiments across a process pool.
+
+    Parameters mirror the ``repro run`` CLI: ``jobs`` processes
+    (1 = in-process serial), ``force`` bypasses the result cache, and
+    ``options`` (quick/n_requests/seed) defines the run configuration
+    every experiment receives — and therefore the cache key.
+    """
+
+    results_dir: Path = Path("results")
+    jobs: int = 1
+    force: bool = False
+    quick: bool = True
+    n_requests: int = 800
+    seed: int = 0
+    progress: Optional[Callable[[str], None]] = None
+    #: Outcomes of the last ``run`` call, for programmatic access.
+    last_report: Optional[RunReport] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be positive")
+        self.results_dir = Path(self.results_dir)
+
+    # -- paths and cache -------------------------------------------------
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.results_dir / "cache"
+
+    def options(self) -> Dict[str, Any]:
+        return {
+            "quick": self.quick,
+            "n_requests": self.n_requests,
+            "seed": self.seed,
+        }
+
+    def cache_path(self, experiment: Experiment) -> Path:
+        digest = registry.config_hash(self.options())
+        return self.cache_dir / f"{experiment.name}-{digest}.json"
+
+    def _load_cached(self, experiment: Experiment) -> Optional[Outcome]:
+        path = self.cache_path(experiment)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("version") != ARTIFACT_VERSION:
+            return None
+        config_hash = data.get("config_hash")
+        if config_hash is None:
+            return None
+        return Outcome(
+            name=experiment.name,
+            cached=True,
+            duration_s=float(data.get("duration_s", 0.0)),
+            summary=dict(data.get("summary", {})),
+            result=data.get("result"),
+            config_hash=config_hash,
+        )
+
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, only: Optional[Iterable[str]] = None) -> RunReport:
+        """Run the selected experiments; returns the aggregate report.
+
+        ``only`` accepts experiment names and/or tags (``None`` runs
+        everything registered).  Scheduling is costliest-first so the
+        longest sweeps start immediately and short analytic experiments
+        fill the remaining pool slots.
+        """
+        selected = registry.select(only=only)
+        if not selected:
+            raise ValueError("no experiments selected")
+        scheduled = sorted(selected, key=lambda e: e.cost, reverse=True)
+        started = time.perf_counter()
+
+        outcomes: Dict[str, Outcome] = {}
+        to_run: List[Experiment] = []
+        for experiment in scheduled:
+            cached = None if self.force else self._load_cached(experiment)
+            if cached is not None:
+                outcomes[experiment.name] = cached
+                self._emit(f"[cache] {experiment.name}")
+            else:
+                to_run.append(experiment)
+
+        failures: Dict[str, str] = {}
+        digest = registry.config_hash(self.options())
+        payloads = [(e.name, self.options()) for e in to_run]
+        for raw in self._execute_all(payloads):
+            name = raw["name"]
+            if "error" in raw:
+                failures[name] = raw["error"]
+                self._emit(f"[fail]  {name}")
+                continue
+            outcomes[name] = Outcome(
+                name=name,
+                cached=False,
+                duration_s=raw["duration_s"],
+                summary=raw["summary"],
+                result=raw["result"],
+                config_hash=digest,
+            )
+            self._emit(f"[done]  {name}  {raw['duration_s']:.2f}s")
+
+        if failures:
+            # Don't throw away what did complete: cache the successes
+            # so the retry only recomputes the failed experiments.
+            for outcome in outcomes.values():
+                self._write_cache_entry(outcome, self.options())
+            details = "\n\n".join(
+                f"--- {name} ---\n{tb}" for name, tb in failures.items()
+            )
+            raise OrchestratorError(
+                f"{len(failures)} experiment(s) failed: "
+                f"{', '.join(sorted(failures))}\n{details}"
+            )
+
+        # Report experiments in registry order regardless of scheduling.
+        ordered = [outcomes[e.name] for e in selected]
+        report = RunReport(
+            options=self.options(),
+            jobs=self.jobs,
+            outcomes=ordered,
+            wall_s=time.perf_counter() - started,
+            results_dir=self.results_dir,
+        )
+        self._write_artifacts(report)
+        self.last_report = report
+        return report
+
+    def _execute_all(
+        self, payloads: Sequence[Tuple[str, Dict[str, Any]]]
+    ) -> Iterable[Dict[str, Any]]:
+        """Yield raw execution results as they complete."""
+        if not payloads:
+            return
+        if self.jobs == 1 or len(payloads) == 1:
+            # All payloads of a run share one option dict; a run-local
+            # context gives them the serial baseline sharing of the old
+            # run_all without pinning anything in module globals.
+            ctx = RunContext(**payloads[0][1])
+            for payload in payloads:
+                self._emit(f"[start] {payload[0]}")
+                yield _execute(payload, ctx)
+            return
+        # Workers pick payloads up asynchronously, so "[start]" would
+        # misstate what is actually running; report the schedule order
+        # instead and let "[done]"/"[fail]" carry the real timing.
+        for name, _ in payloads:
+            self._emit(f"[queued] {name}")
+        processes = min(self.jobs, len(payloads))
+        with multiprocessing.Pool(processes=processes) as pool:
+            for raw in pool.imap_unordered(_execute, payloads):
+                yield raw
+
+    # -- artifacts -------------------------------------------------------
+
+    def _write_cache_entry(
+        self, outcome: Outcome, options: Mapping[str, Any]
+    ) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        cache_path = self.cache_dir / (
+            f"{outcome.name}-{outcome.config_hash}.json"
+        )
+        if not outcome.cached or not cache_path.exists():
+            cache_path.write_text(
+                json.dumps(outcome.artifact(options), indent=2)
+            )
+
+    def _write_artifacts(self, report: RunReport) -> None:
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        for outcome in report.outcomes:
+            artifact = outcome.artifact(report.options)
+            artifact_path = self.results_dir / f"{outcome.name}.json"
+            artifact_path.write_text(json.dumps(artifact, indent=2))
+            self._write_cache_entry(outcome, report.options)
+        summary = {
+            "version": ARTIFACT_VERSION,
+            "options": report.options,
+            "jobs": report.jobs,
+            "wall_s": round(report.wall_s, 3),
+            "experiments": {
+                outcome.name: {
+                    "cached": outcome.cached,
+                    "duration_s": round(outcome.duration_s, 4),
+                    "summary": outcome.summary,
+                }
+                for outcome in report.outcomes
+            },
+            "comparison": report.comparison_rows(),
+        }
+        (self.results_dir / "summary.json").write_text(
+            json.dumps(summary, indent=2)
+        )
+        (self.results_dir / "REPORT.md").write_text(report.to_markdown())

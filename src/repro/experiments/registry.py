@@ -1,0 +1,252 @@
+"""Experiment registry: every figure/table experiment self-registers.
+
+Each experiment module declares its experiments with the
+:func:`register` decorator::
+
+    @register(
+        name="fig13",
+        title="Scheme comparison per tracker at alpha = 1",
+        paper_ref="Section VI-D, Figure 13",
+        tags=("figure", "simulation", "paper"),
+        cost=40.0,
+    )
+    def _fig13(ctx: RunContext):
+        return run(ctx.sweep_runner(), quick=ctx.quick)
+
+The registry is the single source of truth that
+:mod:`repro.experiments.runner`, :mod:`repro.experiments.orchestrator`
+and the ``repro run`` / ``repro list-experiments`` CLI commands all
+derive their experiment lists from, so ordering can never drift between
+them.
+
+``cost`` is a relative wall-clock estimate (arbitrary units; analytic
+experiments ~0, full workload sweeps ~100).  The orchestrator schedules
+costliest-first so the longest experiments never end up serialized at
+the tail of a parallel run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field, fields
+from types import ModuleType
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .common import DEFAULT_REQUESTS, SweepRunner
+
+#: Tag carried by every experiment that belongs to the paper's
+#: evaluation proper (``run_all`` runs exactly these); ablations carry
+#: the ``ablation`` tag instead.
+PAPER_TAG = "paper"
+
+
+@dataclass
+class RunContext:
+    """Options shared by every experiment in one orchestrated run.
+
+    The context is cheap, picklable state (``quick``, ``n_requests``,
+    ``seed``); the :class:`~repro.experiments.common.SweepRunner` it
+    hands out is created lazily and shared by every experiment executed
+    against the same context, so serial runs reuse cached baselines
+    exactly like the original ``run_all`` did.
+    """
+
+    quick: bool = True
+    n_requests: int = DEFAULT_REQUESTS
+    seed: int = 0
+    _runner: Optional[SweepRunner] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def sweep_runner(self) -> SweepRunner:
+        """The shared (lazily created) simulation sweep runner."""
+        if self._runner is None:
+            self._runner = SweepRunner(
+                n_requests=self.n_requests, seed=self.seed
+            )
+        return self._runner
+
+    def options(self) -> Dict[str, Any]:
+        """The picklable option dict this context was built from."""
+        return {
+            "quick": self.quick,
+            "n_requests": self.n_requests,
+            "seed": self.seed,
+        }
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return self.options()
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        allowed = {f.name for f in fields(self)}
+        for key, value in state.items():
+            if key in allowed:
+                setattr(self, key, value)
+        self._runner = None
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered figure/table experiment."""
+
+    name: str
+    fn: Callable[[RunContext], Any]
+    title: str
+    paper_ref: str
+    tags: Tuple[str, ...]
+    #: Relative wall-clock estimate used for costliest-first scheduling.
+    cost: float
+    #: Dotted module the experiment lives in (``repro.experiments.fig13``).
+    module: str
+    #: Optional reduction of the raw result to headline scalar metrics.
+    summarize: Optional[Callable[[Any], Dict[str, float]]] = None
+    #: Paper-quoted values for (a subset of) the summarized metrics,
+    #: used by the orchestrator's paper-vs-measured report.
+    paper_values: Mapping[str, float] = field(default_factory=dict)
+
+    def run(self, ctx: RunContext) -> Any:
+        return self.fn(ctx)
+
+    def summary_of(self, result: Any) -> Dict[str, float]:
+        """Headline metrics of ``result`` ({} when none are defined)."""
+        if self.summarize is None:
+            return {}
+        return {key: float(value)
+                for key, value in self.summarize(result).items()}
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(
+    name: str,
+    title: str,
+    paper_ref: str,
+    tags: Sequence[str] = (),
+    cost: float = 1.0,
+    summarize: Optional[Callable[[Any], Dict[str, float]]] = None,
+    paper_values: Optional[Mapping[str, float]] = None,
+) -> Callable[[Callable[[RunContext], Any]], Callable[[RunContext], Any]]:
+    """Decorator registering ``fn`` as the experiment ``name``.
+
+    Registration happens at import time of the experiment module, so
+    importing :mod:`repro.experiments` populates the whole registry in a
+    deterministic order.  Duplicate names are a programming error.
+    """
+
+    def decorator(fn: Callable[[RunContext], Any]) -> Callable[[RunContext], Any]:
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} registered twice")
+        _REGISTRY[name] = Experiment(
+            name=name,
+            fn=fn,
+            title=title,
+            paper_ref=paper_ref,
+            tags=tuple(tags),
+            cost=float(cost),
+            module=fn.__module__,
+            summarize=summarize,
+            paper_values=dict(paper_values or {}),
+        )
+        return fn
+
+    return decorator
+
+
+def ensure_loaded() -> None:
+    """Import the experiment package so every module has registered.
+
+    Safe to call repeatedly; needed by worker processes under spawn
+    start methods and by callers that import :mod:`registry` directly.
+    """
+    importlib.import_module("repro.experiments")
+
+
+def all_experiments() -> List[Experiment]:
+    """Every registered experiment, in registration order."""
+    ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def names() -> List[str]:
+    """Registered experiment names, in registration order."""
+    return [exp.name for exp in all_experiments()]
+
+
+def get(name: str) -> Experiment:
+    """Look up one experiment; raises KeyError with the known names."""
+    ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from: {known}"
+        ) from None
+
+
+def select(
+    only: Optional[Iterable[str]] = None,
+    tags: Optional[Iterable[str]] = None,
+) -> List[Experiment]:
+    """Experiments filtered by name and/or tag, registration order.
+
+    ``only`` entries may be experiment names *or* tags (so
+    ``--only simulation`` selects every simulation experiment); unknown
+    entries raise KeyError.  ``tags`` keeps experiments carrying at
+    least one of the given tags.
+    """
+    experiments = all_experiments()
+    if tags is not None:
+        wanted = set(tags)
+        experiments = [e for e in experiments if wanted & set(e.tags)]
+    if only is None:
+        return experiments
+    requested = list(only)
+    known_names = {e.name for e in experiments}
+    known_tags = {tag for e in experiments for tag in e.tags}
+    for entry in requested:
+        if entry not in known_names and entry not in known_tags:
+            known = ", ".join(sorted(known_names | known_tags))
+            raise KeyError(
+                f"unknown experiment or tag {entry!r}; "
+                f"choose from: {known}"
+            )
+    chosen = set(requested)
+    return [
+        e for e in experiments
+        if e.name in chosen or chosen & set(e.tags)
+    ]
+
+
+def modules(experiments: Optional[Sequence[Experiment]] = None) -> List[ModuleType]:
+    """Unique experiment modules, in registry order.
+
+    This is what ``runner.main`` iterates, so its printed module order
+    is derived from — and can never drift from — ``run_all``'s order.
+    """
+    if experiments is None:
+        experiments = all_experiments()
+    seen: Dict[str, ModuleType] = {}
+    for exp in experiments:
+        if exp.module not in seen:
+            seen[exp.module] = importlib.import_module(exp.module)
+    return list(seen.values())
+
+
+def config_hash(options: Mapping[str, Any]) -> str:
+    """Deterministic short hash of an option mapping (cache key part)."""
+    canonical = json.dumps(options, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]

@@ -1,56 +1,39 @@
-"""Run every experiment and print the paper-vs-measured summary."""
+"""Thin shim over the experiment registry.
+
+Both :func:`run_all` and :func:`main` derive their experiment list from
+:mod:`repro.experiments.registry`, so the set and order of experiments
+can never drift between the two (the old hand-maintained module lists
+did).  For parallel execution, caching and artifacts use
+:class:`repro.experiments.orchestrator.Orchestrator` (or the
+``repro run`` CLI) instead.
+"""
 
 from __future__ import annotations
 
 from typing import Dict
 
-from . import (
-    energy,
-    fig3,
-    fig4,
-    fig5,
-    fig6_7_8,
-    fig12,
-    fig13,
-    fig14,
-    fig15,
-    fig16,
-    fig18_19,
-    tables,
-)
-from .common import SweepRunner
+from . import registry
+from .registry import PAPER_TAG, RunContext
 
 
 def run_all(quick: bool = True, n_requests: int = 1200) -> Dict[str, object]:
-    """Execute every table/figure experiment; returns raw results."""
-    runner = SweepRunner(n_requests=n_requests)
-    results: Dict[str, object] = {}
-    results["table1"] = tables.table1()
-    results["table2"] = tables.table2()
-    results["table3"] = tables.table3()
-    results["storage"] = tables.storage_comparison()
-    results["fig4"] = fig4.run()
-    results["fig6"] = fig6_7_8.fig6_series()
-    results["fig7"] = fig6_7_8.fig7_series()
-    results["fig8"] = fig6_7_8.fig8_series()
-    results["fig12"] = fig12.run()
-    results["fig18"] = fig18_19.fig18_series()
-    results["fig19"] = fig18_19.fig19_series()
-    results["fig3"] = fig3.run(runner, quick=quick)
-    results["fig5"] = fig5.run(runner, quick=quick)
-    results["fig13"] = fig13.run(runner, quick=quick)
-    results["fig14"] = fig14.run(runner, quick=quick)
-    results["fig15"] = fig15.run(runner, quick=quick)
-    results["fig16"] = fig16.run(runner, quick=quick)
-    results["energy"] = energy.run(runner, quick=quick)
-    return results
+    """Execute every paper experiment serially; returns raw results.
+
+    Results are keyed by registry name (``table1`` ... ``fig19``) in
+    registry order; the shared :class:`RunContext` reuses baseline
+    simulations across experiments exactly like the orchestrator's
+    serial path.
+    """
+    ctx = RunContext(quick=quick, n_requests=n_requests)
+    return {
+        exp.name: exp.run(ctx)
+        for exp in registry.select(tags=(PAPER_TAG,))
+    }
 
 
 def main() -> None:
-    for module in (
-        tables, fig4, fig6_7_8, fig12, fig18_19,
-        fig3, fig5, fig13, fig14, fig15, fig16, energy,
-    ):
+    """Print every paper experiment module's report, registry order."""
+    for module in registry.modules(registry.select(tags=(PAPER_TAG,))):
         print(f"== {module.__name__.rsplit('.', 1)[-1]} ==")
         module.main()
         print()

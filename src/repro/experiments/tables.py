@@ -144,3 +144,77 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+# -- registry ----------------------------------------------------------
+
+from .registry import RunContext, register  # noqa: E402
+
+
+@register(
+    name="table1",
+    title="DRAM timing parameters",
+    paper_ref="Table I",
+    tags=("table", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda data: {"tRC_ns": data["tRC"], "tRAS_ns": data["tRAS"]},
+    paper_values={"tRC_ns": 48.0, "tRAS_ns": 36.0},
+)
+def _table1(ctx: RunContext):
+    return table1()
+
+
+@register(
+    name="table2",
+    title="Baseline system configuration",
+    paper_ref="Table II",
+    tags=("table", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda data: {"cores": data["cores"]},
+    paper_values={"cores": 8},
+)
+def _table2(ctx: RunContext):
+    return table2()
+
+
+@register(
+    name="table3",
+    title="Qualitative + quantitative comparison of the three schemes",
+    paper_ref="Table III",
+    tags=("table", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda rows: {
+        "impress_p_relative_t_star": next(
+            row["relative_threshold"]
+            for row in rows if row["scheme"] == "impress-p"
+        ),
+        "impress_p_storage_factor": next(
+            row["graphene_storage_factor"]
+            for row in rows if row["scheme"] == "impress-p"
+        ),
+    },
+    paper_values={
+        "impress_p_relative_t_star": 1.0,
+        "impress_p_storage_factor": 1.25,
+    },
+)
+def _table3(ctx: RunContext):
+    return table3()
+
+
+@register(
+    name="storage",
+    title="Tracker storage comparison",
+    paper_ref="Section VI-C / Appendix A",
+    tags=("table", "analytic", "paper"),
+    cost=0.1,
+    summarize=lambda data: {
+        "graphene_entries_no_rp": data["graphene_entries"]["no-rp"],
+        "mithril_entries_no_rp": data["mithril_entries"]["no-rp"],
+    },
+    paper_values={
+        "graphene_entries_no_rp": 448,
+        "mithril_entries_no_rp": 383,
+    },
+)
+def _storage(ctx: RunContext):
+    return storage_comparison()

@@ -56,13 +56,16 @@ class AccountingTracker(Tracker):
     total: float = 0.0
 
     def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        """Accumulate the (E)ACT weight credited to ``row``; never mitigates."""
         self.recorded[row] = self.recorded.get(row, 0.0) + weight
         self.total += weight
         return []
 
     def recorded_for(self, row: int) -> float:
+        """Charge-accounting total the defense has credited to ``row``."""
         return self.recorded.get(row, 0.0)
 
     def reset(self) -> None:
+        """Forget all per-row accounting (refresh-window boundary)."""
         self.recorded.clear()
         self.total = 0.0

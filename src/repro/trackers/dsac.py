@@ -66,6 +66,12 @@ class DsacLikeTracker(Tracker):
         self.mitigations = 0
 
     def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        """Credit ``row`` with DSAC's logarithmic time weight.
+
+        ``weight`` carries the access's row-open time in tRC units; the
+        tracker re-weighs it with :func:`dsac_weight`, reproducing the
+        underestimation the paper's Section VII critique exploits.
+        """
         ton_trc = max(1.0, weight)
         if row in self._table:
             self._table[row] += int(dsac_weight(ton_trc))
@@ -82,7 +88,9 @@ class DsacLikeTracker(Tracker):
         return []
 
     def count_for(self, row: int) -> float:
+        """Integer weight DSAC has accumulated for ``row``."""
         return float(self._table.get(row, 0))
 
     def reset(self) -> None:
+        """Clear the counter table (refresh-window boundary)."""
         self._table.clear()

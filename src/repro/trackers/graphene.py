@@ -62,13 +62,21 @@ class GrapheneTracker(Tracker):
 
     @property
     def internal_threshold(self) -> float:
+        """Counter value (in ACT units) at which a mitigation fires."""
         return self._threshold_raw / self._scale
 
     @property
     def spillover(self) -> float:
+        """The Misra-Gries spillover counter, in ACT units.
+
+        Every untracked activation lands here; a row's true count can
+        exceed its table counter by at most this value, which is what
+        makes the frequent-items guarantee hold.
+        """
         return self._spill / self._scale
 
     def count_for(self, row: int) -> float:
+        """Tracked (E)ACT count of ``row`` (0 when untracked)."""
         return self._table.get(row, 0) / self._scale
 
     def _quantize(self, weight: float) -> int:
@@ -78,6 +86,13 @@ class GrapheneTracker(Tracker):
         return raw
 
     def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        """Credit ``weight`` (E)ACTs to ``row`` (Misra-Gries update).
+
+        With ImPress-P the weight is the access's fractional EACT; the
+        fixed-point counters accumulate it exactly at 7 fraction bits.
+        Returns ``[row]`` when the internal threshold is crossed and a
+        victim refresh must be issued.
+        """
         raw = self._quantize(weight)
         if raw == 0:
             return []
@@ -123,9 +138,11 @@ class GrapheneTracker(Tracker):
         return None
 
     def reset(self) -> None:
+        """Clear the table and spillover (refresh-window boundary)."""
         self._table.clear()
         self._heap.clear()
         self._spill = 0
 
     def tracked_rows(self) -> List[int]:
+        """Rows currently holding a Misra-Gries table entry."""
         return list(self._table)

@@ -74,17 +74,26 @@ class MintTracker(Tracker):
 
     @property
     def can(self) -> float:
+        """Current Activation Number: (E)ACTs seen this RFM interval."""
         return self._can / self._scale
 
     @property
     def san(self) -> float:
+        """Selected Activation Number: the randomly chosen slot."""
         return self._san / self._scale
 
     @property
     def sar(self) -> Optional[int]:
+        """Selected Address Register: row captured for the next RFM."""
         return self._sar
 
     def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        """Advance CAN by the access's (E)ACT weight.
+
+        With ImPress-P the EACT weight widens the slot span the access
+        covers, so its capture probability is proportional to its
+        row-open time (Section VI-C).  Never mitigates directly.
+        """
         raw = int(weight * self._scale)
         if raw < 0:
             raise ValueError("weight must be non-negative")
@@ -99,6 +108,7 @@ class MintTracker(Tracker):
         return []
 
     def on_rfm(self, cycle: int = 0) -> Optional[int]:
+        """Mitigate the captured row and start a fresh RFM interval."""
         victim_source = self._sar
         self._sar = None
         self._can = 0
@@ -108,6 +118,7 @@ class MintTracker(Tracker):
         return victim_source
 
     def reset(self) -> None:
+        """Clear CAN/SAR and redraw SAN (refresh-window boundary)."""
         self._can = 0
         self._sar = None
         self._san = self._draw_san()

@@ -43,13 +43,21 @@ class MithrilTracker(Tracker):
         self.mitigations = 0
 
     def count_for(self, row: int) -> float:
+        """Tracked (E)ACT count of ``row`` (0 when untracked)."""
         return self._table.get(row, 0) / self._scale
 
     @property
     def spillover(self) -> float:
+        """Misra-Gries spillover floor (in ACT units) untracked rows share."""
         return self._spill / self._scale
 
     def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        """Credit ``weight`` (E)ACTs to ``row`` in the in-DRAM summary.
+
+        Counters carry ImPress-P's fractional EACT bits when configured;
+        mitigation is deferred to :meth:`on_rfm`, so this always returns
+        an empty list.
+        """
         raw = int(weight * self._scale)
         if raw < 0:
             raise ValueError("weight must be non-negative")
@@ -106,10 +114,12 @@ class MithrilTracker(Tracker):
         return None
 
     def record_batch(self, rows: List[int]) -> None:
+        """Record one unit ACT for each row (attack-replay convenience)."""
         for row in rows:
             self.record(row)
 
     def reset(self) -> None:
+        """Clear the summary and spillover (refresh-window boundary)."""
         self._table.clear()
         self._heap.clear()
         self._min_heap.clear()

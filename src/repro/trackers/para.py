@@ -67,6 +67,12 @@ class ParaTracker(Tracker):
         self.mitigations = 0
 
     def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        """Select ``row`` for mitigation with probability ``p * weight``.
+
+        ``weight`` is the access's EACT under ImPress-P, making the
+        selection probability proportional to row-open time; weight 1
+        is classic per-ACT PARA.
+        """
         if weight < 0:
             raise ValueError("weight must be non-negative")
         if weight == 0:

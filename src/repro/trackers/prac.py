@@ -58,9 +58,17 @@ class PracTracker(Tracker):
         self.alerts = 0
 
     def count_for(self, row: int) -> float:
+        """Per-row activation counter value ((E)ACT units)."""
         return self._counters.get(row, 0) / self._scale
 
     def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
+        """Advance ``row``'s in-array counter by the (E)ACT weight.
+
+        Crossing the alert threshold raises Alert-Back-Off: the row is
+        returned for victim refresh and its counter resets.  With
+        ImPress-P the counter is widened by fractional EACT bits
+        (Section VI-F).
+        """
         if not 0 <= row < self.rows_per_bank:
             raise ValueError(f"row {row} outside the bank")
         raw = int(weight * self._scale)
@@ -77,6 +85,7 @@ class PracTracker(Tracker):
         return []
 
     def reset(self) -> None:
+        """Zero every per-row counter (refresh-window boundary)."""
         self._counters.clear()
 
     def storage_bits_per_row(self, max_count: float | None = None) -> int:
@@ -89,4 +98,5 @@ class PracTracker(Tracker):
         return max(1, bound.bit_length()) + self.fraction_bits
 
     def storage_kib_per_bank(self) -> float:
+        """Total DRAM-array counter storage per bank (KiB)."""
         return self.rows_per_bank * self.storage_bits_per_row() / 8 / 1024

@@ -84,10 +84,12 @@ class StorageEstimate:
 
     @property
     def total_bits_per_channel(self) -> int:
+        """SRAM bits across all banks of one channel."""
         return self.entries_per_bank * self.bits_per_entry * self.banks_per_channel
 
     @property
     def kib_per_channel(self) -> float:
+        """SRAM cost per channel in KiB (the unit Appendix A quotes)."""
         return self.total_bits_per_channel / 8 / 1024
 
 

@@ -2,6 +2,12 @@
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: simulation-backed tests (seconds, not ms)"
+    )
+
 from repro.dram.timing import CycleTimings, DramClock, ddr5_timings
 
 

@@ -1,0 +1,246 @@
+"""Tests for the experiment registry and the parallel orchestrator."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import registry, runner
+from repro.experiments.orchestrator import (
+    Orchestrator,
+    OrchestratorError,
+    _execute,
+    jsonify,
+)
+from repro.experiments.registry import PAPER_TAG, Experiment, RunContext
+
+EXPERIMENT_DIR = Path(registry.__file__).parent
+#: Modules that host experiments (everything except the plumbing).
+PLUMBING = {"__init__", "common", "registry", "orchestrator", "runner"}
+
+
+def experiment_module_stems():
+    return sorted(
+        path.stem
+        for path in EXPERIMENT_DIR.glob("*.py")
+        if path.stem not in PLUMBING
+    )
+
+
+class TestRegistry:
+    def test_every_experiment_module_registers(self):
+        registered_modules = {
+            exp.module.rsplit(".", 1)[-1] for exp in registry.all_experiments()
+        }
+        for stem in experiment_module_stems():
+            assert stem in registered_modules, (
+                f"{stem}.py defines no registered experiment"
+            )
+
+    def test_names_unique_and_stable(self):
+        names = registry.names()
+        assert len(names) == len(set(names))
+        assert {"fig3", "fig13", "table1", "storage", "energy",
+                "ablation"} <= set(names)
+
+    def test_select_by_name_and_tag(self):
+        assert [e.name for e in registry.select(only=["fig13", "table2"])] == [
+            "fig13", "table2"
+        ]
+        analytic = registry.select(only=["analytic"])
+        assert analytic and all("analytic" in e.tags for e in analytic)
+
+    def test_select_unknown_raises(self):
+        with pytest.raises(KeyError, match="fig99"):
+            registry.select(only=["fig99"])
+
+    def test_run_all_derives_from_registry(self):
+        paper_names = [
+            e.name for e in registry.select(tags=(PAPER_TAG,))
+        ]
+        results = runner.run_all(quick=True, n_requests=40)
+        assert list(results) == paper_names
+        assert "ablation" not in results
+
+    def test_runner_main_module_order_matches_run_all(self):
+        paper = registry.select(tags=(PAPER_TAG,))
+        modules = registry.modules(paper)
+        module_names = [m.__name__ for m in modules]
+        # Derived from the same registry slice: same modules, same order,
+        # no duplicates — the drift the old hand-written lists allowed.
+        assert module_names == list(dict.fromkeys(e.module for e in paper))
+
+    def test_costliest_first_is_a_permutation(self):
+        scheduled = sorted(
+            registry.all_experiments(), key=lambda e: e.cost, reverse=True
+        )
+        assert {e.name for e in scheduled} == set(registry.names())
+        costs = [e.cost for e in scheduled]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestJsonify:
+    def test_float_and_inf_keys_become_strings(self):
+        data = {36.0: {"a": 1.0}, float("inf"): (1, 2)}
+        assert jsonify(data) == {"36.0": {"a": 1.0}, "inf": [1, 2]}
+
+    def test_non_finite_values_become_strings(self):
+        assert jsonify({"x": float("nan")}) == {"x": "nan"}
+
+    def test_round_trips_through_json(self):
+        data = jsonify({4000.0: [(0, 0.2)], "inf": float("inf")})
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestCache:
+    def make(self, tmp_path, **kwargs):
+        defaults = dict(results_dir=tmp_path, jobs=1, n_requests=40)
+        defaults.update(kwargs)
+        return Orchestrator(**defaults)
+
+    def test_miss_then_hit(self, tmp_path):
+        first = self.make(tmp_path).run(only=["table1"])
+        assert [o.cached for o in first.outcomes] == [False]
+        second = self.make(tmp_path).run(only=["table1"])
+        assert [o.cached for o in second.outcomes] == [True]
+        assert second.outcomes[0].result == first.outcomes[0].result
+
+    def test_force_bypasses_cache(self, tmp_path):
+        self.make(tmp_path).run(only=["table1"])
+        forced = self.make(tmp_path, force=True).run(only=["table1"])
+        assert [o.cached for o in forced.outcomes] == [False]
+
+    def test_different_options_different_key(self, tmp_path):
+        self.make(tmp_path, n_requests=40).run(only=["table1"])
+        other = self.make(tmp_path, n_requests=41).run(only=["table1"])
+        assert [o.cached for o in other.outcomes] == [False]
+        assert len(list((tmp_path / "cache").glob("table1-*.json"))) == 2
+
+    def test_cache_missing_config_hash_is_a_miss(self, tmp_path):
+        self.make(tmp_path).run(only=["table1"])
+        cache_file = next((tmp_path / "cache").glob("table1-*.json"))
+        data = json.loads(cache_file.read_text())
+        del data["config_hash"]
+        cache_file.write_text(json.dumps(data))
+        again = self.make(tmp_path).run(only=["table1"])
+        assert [o.cached for o in again.outcomes] == [False]
+
+    def test_corrupt_cache_is_a_miss(self, tmp_path):
+        orchestrator = self.make(tmp_path)
+        orchestrator.run(only=["table1"])
+        cache_file = next((tmp_path / "cache").glob("table1-*.json"))
+        cache_file.write_text("{ not json")
+        again = self.make(tmp_path).run(only=["table1"])
+        assert [o.cached for o in again.outcomes] == [False]
+
+    def test_artifacts_written(self, tmp_path):
+        self.make(tmp_path).run(only=["table1", "fig18"])
+        assert (tmp_path / "table1.json").exists()
+        assert (tmp_path / "fig18.json").exists()
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert set(summary["experiments"]) == {"table1", "fig18"}
+        report = (tmp_path / "REPORT.md").read_text()
+        assert "Paper vs measured" in report
+
+    def test_progress_streams(self, tmp_path):
+        messages = []
+        self.make(tmp_path, progress=messages.append).run(only=["table1"])
+        assert "[start] table1" in messages
+        assert any(m.startswith("[done]  table1") for m in messages)
+        messages.clear()
+        self.make(tmp_path, progress=messages.append).run(only=["table1"])
+        assert messages == ["[cache] table1"]
+
+
+class TestParallelEquivalence:
+    #: One real simulation sweep plus analytic experiments, small sizes.
+    SUBSET = ["fig3", "fig12", "fig18", "table3"]
+
+    @pytest.mark.slow
+    def test_parallel_matches_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = Orchestrator(
+            results_dir=serial_dir, jobs=1, n_requests=60
+        ).run(only=self.SUBSET)
+        parallel = Orchestrator(
+            results_dir=parallel_dir, jobs=2, n_requests=60
+        ).run(only=self.SUBSET)
+        assert [o.cached for o in parallel.outcomes] == [False] * 4
+        for name in self.SUBSET:
+            a = json.loads((serial_dir / f"{name}.json").read_text())
+            b = json.loads((parallel_dir / f"{name}.json").read_text())
+            assert a["result"] == b["result"], name
+            assert a["summary"] == b["summary"], name
+        assert serial.by_name["fig3"].summary == (
+            parallel.by_name["fig3"].summary
+        )
+
+
+class TestFailureHandling:
+    def test_execute_reports_unknown_experiment(self):
+        raw = _execute(("no-such-experiment", {"quick": True,
+                                               "n_requests": 40,
+                                               "seed": 0}))
+        assert "error" in raw
+
+    def test_failing_experiment_raises_with_traceback(self, tmp_path,
+                                                      monkeypatch):
+        def boom(ctx):
+            raise RuntimeError("intentional test failure")
+
+        monkeypatch.setitem(
+            registry._REGISTRY,
+            "boom",
+            Experiment(
+                name="boom", fn=boom, title="boom", paper_ref="-",
+                tags=("test",), cost=0.0, module=__name__,
+            ),
+        )
+        orchestrator = Orchestrator(results_dir=tmp_path, jobs=1)
+        with pytest.raises(OrchestratorError, match="intentional"):
+            orchestrator.run(only=["boom"])
+
+    def test_successes_are_cached_despite_failure(self, tmp_path,
+                                                  monkeypatch):
+        def boom(ctx):
+            raise RuntimeError("intentional test failure")
+
+        monkeypatch.setitem(
+            registry._REGISTRY,
+            "boom",
+            Experiment(
+                name="boom", fn=boom, title="boom", paper_ref="-",
+                tags=("test",), cost=1000.0, module=__name__,
+            ),
+        )
+        orchestrator = Orchestrator(results_dir=tmp_path, jobs=1,
+                                    n_requests=40)
+        with pytest.raises(OrchestratorError):
+            orchestrator.run(only=["boom", "table1"])
+        # table1 completed before boom's failure surfaced; its result
+        # must be cached so a retry only recomputes the failure.
+        assert list((tmp_path / "cache").glob("table1-*.json"))
+        retry = Orchestrator(results_dir=tmp_path, jobs=1,
+                             n_requests=40).run(only=["table1"])
+        assert [o.cached for o in retry.outcomes] == [True]
+
+    def test_empty_selection_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            Orchestrator(results_dir=tmp_path).run(only=[])
+
+
+class TestRunContext:
+    def test_shares_sweep_runner(self):
+        ctx = RunContext(quick=True, n_requests=40)
+        assert ctx.sweep_runner() is ctx.sweep_runner()
+        assert ctx.sweep_runner().n_requests == 40
+
+    def test_pickles_without_runner(self):
+        import pickle
+
+        ctx = RunContext(quick=False, n_requests=77, seed=3)
+        ctx.sweep_runner()
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.options() == ctx.options()
+        assert clone._runner is None

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in README.md and docs/ resolve.
+
+Scans every ``[text](target)`` link; targets with a URL scheme or a
+pure in-page anchor are skipped, everything else must exist on disk
+relative to the file containing the link.  Exits non-zero listing the
+broken links (used by CI's docs step and tests/test_docs.py).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").rglob("*.md")))
+    return files
+
+
+def broken_links(root: Path) -> list[str]:
+    problems = []
+    for path in markdown_files(root):
+        for target in LINK_RE.findall(path.read_text()):
+            if SCHEME_RE.match(target) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = markdown_files(root)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    problems = broken_links(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if problems else 'ok'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
