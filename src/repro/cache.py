@@ -1,0 +1,34 @@
+"""Shared cache instrumentation.
+
+One counters shape for every process-local cache in the repo (the
+compiled-trace cache, the :class:`~repro.experiments.common.SweepRunner`
+run cache), so ``repro bench`` serializes them identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/size counters for a process-local cache."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_json(self) -> Dict[str, float]:
+        """The counters as the artifact dict shape ``repro bench`` writes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "hit_rate": self.hit_rate,
+        }

@@ -13,6 +13,8 @@ Commands:
   adversarial Row-Press patterns.
 * ``size`` — print tracker provisioning for a threshold/alpha.
 * ``simulate`` — run one workload against one defense configuration.
+* ``bench`` — time the canonical simulations and write a tracked
+  ``BENCH_<n>.json`` throughput artifact (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -144,6 +146,12 @@ def _cmd_size(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import command_from_args
+
+    return command_from_args(args)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     defense = DefenseConfig(
         tracker=args.tracker, scheme=args.scheme, trh=args.trh,
@@ -218,6 +226,15 @@ def build_parser() -> argparse.ArgumentParser:
     size.add_argument("--trh", type=float, default=4000.0)
     size.add_argument("--alpha", type=float, default=1.0)
     size.set_defaults(func=_cmd_size)
+
+    from .bench import add_bench_arguments
+
+    bench = sub.add_parser(
+        "bench",
+        help="time canonical simulations; write BENCH_<n>.json artifact",
+    )
+    add_bench_arguments(bench)
+    bench.set_defaults(func=_cmd_bench)
 
     simulate = sub.add_parser("simulate", help="run one workload")
     simulate.add_argument("workload")

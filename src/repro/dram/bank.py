@@ -9,11 +9,17 @@ to registered observers:
 * ``on_row_closed(row, open_cycles, total_cycles)`` — a row finished
   precharging; ``total_cycles`` includes the precharge time, which is the
   quantity ImPress-P divides by tRC to obtain EACT (Figure 11).
+
+The bank is a ``__slots__`` class and the hook lists are lazily created:
+the system simulator's controllers dispatch bank activity to trackers
+directly through the mitigation scheme, so in the hot path no hooks are
+registered and ACT/PRE pay no observer-iteration cost at all.  Only the
+standalone :class:`repro.dram.device.DramDevice` and unit tests register
+hooks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from .timing import CycleTimings
@@ -26,7 +32,6 @@ class TimingViolation(RuntimeError):
     """A command was issued before its earliest legal cycle."""
 
 
-@dataclass
 class Bank:
     """A single DRAM bank.
 
@@ -35,20 +40,45 @@ class Bank:
     validates timing and maintains row-buffer state.
     """
 
-    timings: CycleTimings
-    bank_id: int = 0
-    open_row: Optional[int] = None
-    act_cycle: int = -1            #: cycle the open row was activated
-    _ready_act: int = 0
-    _ready_pre: int = 0
-    _ready_col: int = 0
-    _activate_hooks: List[ActivateHook] = field(default_factory=list)
-    _close_hooks: List[CloseHook] = field(default_factory=list)
+    __slots__ = (
+        "timings",
+        "bank_id",
+        "open_row",
+        "act_cycle",
+        "_ready_act",
+        "_ready_pre",
+        "_ready_col",
+        "_activate_hooks",
+        "_close_hooks",
+    )
+
+    def __init__(
+        self,
+        timings: CycleTimings,
+        bank_id: int = 0,
+        open_row: Optional[int] = None,
+        act_cycle: int = -1,
+    ) -> None:
+        self.timings = timings
+        self.bank_id = bank_id
+        self.open_row = open_row
+        self.act_cycle = act_cycle    #: cycle the open row was activated
+        self._ready_act = 0
+        self._ready_pre = 0
+        self._ready_col = 0
+        # None until the first observer registers; the common (simulator)
+        # path never registers any, keeping ACT/PRE free of hook loops.
+        self._activate_hooks: Optional[List[ActivateHook]] = None
+        self._close_hooks: Optional[List[CloseHook]] = None
 
     def add_activate_hook(self, hook: ActivateHook) -> None:
+        if self._activate_hooks is None:
+            self._activate_hooks = []
         self._activate_hooks.append(hook)
 
     def add_close_hook(self, hook: CloseHook) -> None:
+        if self._close_hooks is None:
+            self._close_hooks = []
         self._close_hooks.append(hook)
 
     # -- timing queries -----------------------------------------------
@@ -87,13 +117,15 @@ class Bank:
             raise TimingViolation(
                 f"bank {self.bank_id}: ACT at {cycle} before {self._ready_act}"
             )
+        timings = self.timings
         self.open_row = row
         self.act_cycle = cycle
-        self._ready_pre = cycle + self.timings.tRAS
-        self._ready_col = cycle + self.timings.tRCD
-        self._ready_act = cycle + self.timings.tRC
-        for hook in self._activate_hooks:
-            hook(row, cycle)
+        self._ready_pre = cycle + timings.tRAS
+        self._ready_col = cycle + timings.tRCD
+        self._ready_act = cycle + timings.tRC
+        if self._activate_hooks is not None:
+            for hook in self._activate_hooks:
+                hook(row, cycle)
 
     def column_access(self, cycle: int) -> int:
         """Issue a RD/WR burst; returns the cycle data is available."""
@@ -118,9 +150,12 @@ class Bank:
         open_cycles = cycle - self.act_cycle
         total_cycles = open_cycles + self.timings.tPRE
         self.open_row = None
-        self._ready_act = max(self._ready_act, cycle + self.timings.tPRE)
-        for hook in self._close_hooks:
-            hook(row, open_cycles, total_cycles)
+        ready = cycle + self.timings.tPRE
+        if ready > self._ready_act:
+            self._ready_act = ready
+        if self._close_hooks is not None:
+            for hook in self._close_hooks:
+                hook(row, open_cycles, total_cycles)
         return open_cycles
 
     def block_until(self, cycle: int) -> None:
@@ -133,7 +168,8 @@ class Bank:
             raise TimingViolation(
                 f"bank {self.bank_id}: cannot block with row open"
             )
-        self._ready_act = max(self._ready_act, cycle)
+        if cycle > self._ready_act:
+            self._ready_act = cycle
 
     def refresh(self, cycle: int) -> int:
         """Perform a REF; the row must be closed.  Returns completion cycle."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..cache import CacheStats
 from ..sim.config import DefenseConfig, SystemConfig
 from ..sim.metrics import geomean, normalized_weighted_speedup
 from ..sim.stats import SimResult
@@ -42,12 +43,31 @@ def stream_of(names: Iterable[str]) -> List[str]:
 
 @dataclass
 class SweepRunner:
-    """Caches baseline runs so each config sweep shares its reference."""
+    """Caches simulation runs so each config sweep shares its references.
+
+    **Cache key contract.**  A run is identified by
+    ``(workload, defense, tmro_ns)``; the runner's own ``system``,
+    ``n_requests`` and ``seed`` are fixed per instance and therefore not
+    part of the key — never mutate them after the first ``run()``.
+    ``defense`` is a frozen dataclass (or None), so value-equal configs
+    share an entry.  :meth:`speedup` looks its baseline up through the
+    same cache under ``(workload, baseline, None)``: the baseline leg
+    always runs *without* a tMRO override, so a ``tmro_ns`` sweep shares
+    one baseline entry per workload rather than one per point.
+
+    The cache is unbounded by design — a full experiment sweep touches a
+    few hundred configurations at most, and entries must stay alive for
+    the whole sweep because later figures re-request earlier baselines.
+    Long-lived callers (e.g. ``repro bench``) can inspect growth via
+    :meth:`cache_stats` and drop everything with :meth:`clear_cache`.
+    """
 
     system: SystemConfig = field(default_factory=SystemConfig)
     n_requests: int = DEFAULT_REQUESTS
     seed: int = 0
     _cache: Dict[tuple, SimResult] = field(default_factory=dict)
+    _hits: int = 0
+    _misses: int = 0
 
     def run(
         self,
@@ -56,16 +76,21 @@ class SweepRunner:
         tmro_ns: Optional[float] = None,
     ) -> SimResult:
         key = (workload, defense, tmro_ns)
-        if key not in self._cache:
-            self._cache[key] = simulate_workload(
-                workload,
-                defense=defense,
-                system=self.system,
-                n_requests_per_core=self.n_requests,
-                tmro_ns=tmro_ns,
-                seed=self.seed,
-            )
-        return self._cache[key]
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        result = simulate_workload(
+            workload,
+            defense=defense,
+            system=self.system,
+            n_requests_per_core=self.n_requests,
+            tmro_ns=tmro_ns,
+            seed=self.seed,
+        )
+        self._cache[key] = result
+        return result
 
     def speedup(
         self,
@@ -77,6 +102,18 @@ class SweepRunner:
         result = self.run(workload, defense, tmro_ns)
         reference = self.run(workload, baseline)
         return normalized_weighted_speedup(result, reference)
+
+    def cache_stats(self) -> CacheStats:
+        """Current hit/miss counters and entry count of the run cache."""
+        return CacheStats(
+            hits=self._hits, misses=self._misses, size=len(self._cache)
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached run and reset the counters."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
 
 
 def category_geomeans(

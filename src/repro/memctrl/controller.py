@@ -40,7 +40,7 @@ BANK_QUEUE_CAPACITY = 16
 VICTIMS_PER_MITIGATION = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """A demand request finished: data back at ``cycle`` for ``core_id``."""
 
@@ -49,7 +49,7 @@ class Completion:
     is_write: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceResult:
     """What a service step did and when the bank needs attention next."""
 
@@ -58,7 +58,7 @@ class ServiceResult:
     worked: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class BankBookkeeping:
     """Controller-side per-bank state beyond the DRAM bank itself."""
 
@@ -119,7 +119,7 @@ class ChannelController:
         return len(self.state[bank_id].queue) < BANK_QUEUE_CAPACITY
 
     def enqueue(self, request: InFlightRequest) -> None:
-        bank_id = request.mapped.bank
+        bank_id = request.bank
         if not self.can_accept(bank_id):
             raise RuntimeError(f"bank {bank_id} queue full")
         self.state[bank_id].queue.append(request)
@@ -264,9 +264,10 @@ class ChannelController:
         if not book.queue:
             return None
         request: Optional[InFlightRequest] = None
-        if bank.is_open:
+        open_row = bank.open_row
+        if open_row is not None:
             for queued in book.queue:
-                if queued.row == bank.open_row:
+                if queued.row == open_row:
                     request = queued
                     break
         if request is not None:

@@ -1,21 +1,82 @@
-"""In-flight memory requests as seen by the controller."""
+"""In-flight memory requests as seen by the controller.
+
+:class:`InFlightRequest` is on the simulator's hot path — one instance
+per LLC miss — so it is a ``__slots__`` class holding the decomposed
+address as plain ints rather than a nested :class:`MappedAddress`.  The
+``mapped`` keyword/property is kept for callers that already have a
+decomposed address object.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Optional
 
 from ..dram.address import MappedAddress
 
 
-@dataclass
 class InFlightRequest:
     """One demand request queued at a bank."""
 
-    core_id: int
-    mapped: MappedAddress
-    is_write: bool
-    enqueue_cycle: int
+    __slots__ = (
+        "core_id",
+        "channel",
+        "bank",
+        "row",
+        "column",
+        "is_write",
+        "enqueue_cycle",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        mapped: Optional[MappedAddress] = None,
+        is_write: bool = False,
+        enqueue_cycle: int = 0,
+        *,
+        channel: Optional[int] = None,
+        bank: Optional[int] = None,
+        row: Optional[int] = None,
+        column: int = 0,
+    ) -> None:
+        self.core_id = core_id
+        if mapped is not None:
+            if channel is not None or bank is not None or row is not None:
+                raise TypeError(
+                    "pass either 'mapped' or explicit coordinates, not both"
+                )
+            self.channel = mapped.channel
+            self.bank = mapped.bank
+            self.row = mapped.row
+            self.column = mapped.column
+        elif channel is None or bank is None or row is None:
+            # Preserve the old dataclass's required-field contract: an
+            # address must be supplied, either packed or decomposed.
+            raise TypeError(
+                "InFlightRequest needs 'mapped' or explicit "
+                "channel/bank/row coordinates"
+            )
+        else:
+            self.channel = channel
+            self.bank = bank
+            self.row = row
+            self.column = column
+        self.is_write = is_write
+        self.enqueue_cycle = enqueue_cycle
 
     @property
-    def row(self) -> int:
-        return self.mapped.row
+    def mapped(self) -> MappedAddress:
+        """The request's address as a :class:`MappedAddress`."""
+        return MappedAddress(
+            channel=self.channel,
+            bank=self.bank,
+            row=self.row,
+            column=self.column,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InFlightRequest(core_id={self.core_id}, channel={self.channel},"
+            f" bank={self.bank}, row={self.row}, column={self.column},"
+            f" is_write={self.is_write}, enqueue_cycle={self.enqueue_cycle})"
+        )

@@ -14,6 +14,7 @@ from .metrics import (
     normalized_weighted_speedup,
     relative_acts,
 )
+from .reference import ReferenceSimulator
 from .stats import EnergyBreakdown, SimResult, energy_of
 from .system import SystemSimulator, simulate_workload
 
@@ -31,6 +32,7 @@ __all__ = [
     "EnergyBreakdown",
     "SimResult",
     "energy_of",
+    "ReferenceSimulator",
     "SystemSimulator",
     "simulate_workload",
 ]

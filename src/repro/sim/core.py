@@ -9,13 +9,13 @@ arrival structure the trace encodes, not on in-core microarchitecture.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..workloads.trace import Trace
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreState:
     """Issue/retire bookkeeping for one core."""
 

@@ -1,0 +1,208 @@
+"""Reference simulation engine: the original, unoptimized event loop.
+
+This is a frozen copy of the pre-optimization :class:`SystemSimulator`
+event loop (per-request address mapping, one heap entry per wakeup with
+a global sequence counter, no bank-wakeup deduplication).  It exists for
+two reasons:
+
+* **Equivalence testing** — ``tests/test_engine_equivalence.py`` runs
+  seeded workloads through both engines and asserts the
+  :class:`~repro.sim.stats.SimResult` fields are bit-identical, which is
+  the contract the optimized engine must honor.
+* **Benchmarking** — ``repro bench`` times this engine on the canonical
+  configuration to report the optimized engine's speedup factor in the
+  ``BENCH_*.json`` artifacts.
+
+Do not optimize this module; it is deliberately the slow, obviously
+correct formulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import List, Optional, Sequence
+
+from ..core.mitigation import MitigationScheme
+from ..dram.commands import CommandCounts
+from ..memctrl.controller import ChannelController
+from ..memctrl.request import InFlightRequest
+from ..workloads.trace import Trace
+from .config import DefenseConfig, SystemConfig
+from .core import CoreState
+from .stats import SimResult
+
+#: Retry delay when a core finds its target bank queue full (must match
+#: the optimized engine's value for equivalence to hold).
+QUEUE_RETRY_CYCLES = 16
+
+EVENT_CORE = 0
+EVENT_BANK = 1
+EVENT_DONE = 2
+
+
+class ReferenceSimulator:
+    """The original event loop, preserved verbatim for equivalence runs."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        traces: Sequence[Trace],
+        defense: Optional[DefenseConfig] = None,
+        tmro_ns: Optional[float] = None,
+    ) -> None:
+        if len(traces) != system.n_cores:
+            raise ValueError("need one trace per core")
+        self.system = system
+        self.defense = defense or DefenseConfig()
+        self.mapper = system.mapper()
+        timings = system.timings
+        tmro_cycles = (
+            timings.clock.cycles(tmro_ns) if tmro_ns is not None else None
+        )
+        self.controllers: List[ChannelController] = []
+        for _channel in range(system.channels):
+            scheme: MitigationScheme = self.defense.build_scheme(
+                timings, system.banks_per_channel
+            )
+            self.controllers.append(
+                ChannelController(
+                    timings=timings,
+                    num_banks=system.banks_per_channel,
+                    scheme=scheme,
+                    use_rfm=self.defense.uses_rfm,
+                    rfmth=self.defense.effective_rfmth(),
+                    tmro_cycles=tmro_cycles
+                    if tmro_cycles is not None
+                    else self.defense.express_tmro_cycles(timings),
+                    mop_burst_lines=system.mop_burst_lines,
+                    idle_close_cycles=system.idle_close_cycles,
+                )
+            )
+        self.cores = [
+            CoreState(core_id=i, trace=trace, mlp=system.mlp)
+            for i, trace in enumerate(traces)
+        ]
+        self._heap: List = []
+        self._seq = count()
+        self._now = 0
+
+    # -- event plumbing ---------------------------------------------------
+
+    def _push(self, cycle: int, kind: int, payload: int) -> None:
+        heapq.heappush(self._heap, (cycle, next(self._seq), kind, payload))
+
+    def _flat_bank(self, channel: int, bank: int) -> int:
+        return channel * self.system.banks_per_channel + bank
+
+    def _unflatten(self, flat: int) -> tuple:
+        per = self.system.banks_per_channel
+        return flat // per, flat % per
+
+    # -- core issue logic -------------------------------------------------
+
+    def _try_issue(self, core: CoreState, cycle: int) -> None:
+        while core.can_issue():
+            request = core.trace[core.index]
+            mapped = self.mapper.map_address(request.address)
+            controller = self.controllers[mapped.channel]
+            if not controller.can_accept(mapped.bank):
+                self._push(cycle + QUEUE_RETRY_CYCLES, EVENT_CORE, core.core_id)
+                return
+            controller.enqueue(
+                InFlightRequest(
+                    core_id=core.core_id,
+                    mapped=mapped,
+                    is_write=request.is_write,
+                    enqueue_cycle=cycle,
+                )
+            )
+            self._push(
+                cycle, EVENT_BANK, self._flat_bank(mapped.channel, mapped.bank)
+            )
+            core.issue()
+            if core.outstanding >= core.mlp:
+                core.stalled_on_mlp = True
+                return
+            if not core.exhausted:
+                gap = core.trace[core.index].gap_cycles
+                if gap > 0:
+                    self._push(cycle + gap, EVENT_CORE, core.core_id)
+                    return
+                # gap == 0: keep issuing at this cycle.
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, max_cycles: int = 1 << 34) -> SimResult:
+        """Run every core's trace to completion; returns the SimResult."""
+        for core in self.cores:
+            if len(core.trace) == 0:
+                core.finish_cycle = 0
+                continue
+            first_gap = core.trace[0].gap_cycles
+            self._push(first_gap, EVENT_CORE, core.core_id)
+        remaining = sum(len(core.trace) for core in self.cores)
+        pending_done = 0
+        while (remaining > 0 or pending_done > 0) and self._heap:
+            cycle, _seq, kind, payload = heapq.heappop(self._heap)
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({remaining} requests outstanding)"
+                )
+            self._now = cycle
+            if kind == EVENT_CORE:
+                self._try_issue(self.cores[payload], cycle)
+            elif kind == EVENT_BANK:
+                channel, bank = self._unflatten(payload)
+                result = self.controllers[channel].service(bank, cycle)
+                extra = self.system.extra_latency_cycles
+                for completion in result.completions:
+                    self._push(
+                        completion.cycle + extra, EVENT_DONE, completion.core_id
+                    )
+                    remaining -= 1
+                    pending_done += 1
+                if result.next_wake is not None and result.next_wake >= cycle:
+                    self._push(
+                        max(result.next_wake, cycle + 1), EVENT_BANK, payload
+                    )
+            else:  # EVENT_DONE
+                pending_done -= 1
+                core = self.cores[payload]
+                core.retire(cycle)
+                if core.stalled_on_mlp:
+                    core.stalled_on_mlp = False
+                    if not core.exhausted:
+                        self._try_issue(core, cycle)
+        if remaining > 0:
+            raise RuntimeError("event heap drained with work remaining")
+        end_cycle = self._now
+        for controller in self.controllers:
+            controller.flush_open_rows(end_cycle + 1)
+        return self._collect(end_cycle)
+
+    def _collect(self, end_cycle: int) -> SimResult:
+        counts = CommandCounts()
+        hits = misses = conflicts = rfm_mitigations = tmro_closures = 0
+        for controller in self.controllers:
+            counts = counts.merged_with(controller.counts)
+            hits += controller.row_hits
+            misses += controller.row_misses
+            conflicts += controller.row_conflicts
+            rfm_mitigations += controller.rfm_mitigations
+            tmro_closures += controller.tmro_closures
+        return SimResult(
+            elapsed_cycles=end_cycle,
+            core_cycles=[
+                core.finish_cycle if core.finish_cycle is not None else end_cycle
+                for core in self.cores
+            ],
+            core_requests=[core.retired for core in self.cores],
+            counts=counts,
+            row_hits=hits,
+            row_misses=misses,
+            row_conflicts=conflicts,
+            rfm_mitigations=rfm_mitigations,
+            tmro_closures=tmro_closures,
+        )

@@ -10,19 +10,40 @@ kinds circulate:
 
 The run ends when every core has retired its whole trace; open rows are
 then flushed so ImPress-P records their final EACTs.
+
+**Hot-path engineering** (see ``docs/performance.md``):
+
+* Events are single packed ints — ``(cycle, seq, kind, payload)``
+  squeezed into one integer whose ordering matches the old 4-tuple's.
+  Each heap sift does one int comparison instead of an element-wise
+  tuple comparison, and no per-event tuple is allocated (the packed
+  values exceed one machine word, but a single bignum compare still
+  beats tuple protocol dispatch).
+* Bank wakeups are deduplicated: at most one *live* heap entry exists
+  per bank at any time (``_bank_wake`` tracks its cycle); redundant
+  same-cycle or later wakeups are dropped at push time and superseded
+  entries are skipped at pop time.  The original engine pushed a new
+  wakeup chain per enqueue, which grew the event count ~40x beyond the
+  useful work.
+* Traces are pre-compiled to ``(channel, bank, row)`` arrays once per
+  ``(trace, mapper)`` via :mod:`repro.workloads.compiled`, so the issue
+  path does list indexing instead of per-request address arithmetic.
+
+Behavior is bit-identical to :class:`repro.sim.reference.ReferenceSimulator`
+(the preserved original loop); ``tests/test_engine_equivalence.py``
+enforces it across seeded workload/defense matrices.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from itertools import count
 from typing import List, Optional, Sequence
 
 from ..core.mitigation import MitigationScheme
 from ..dram.commands import CommandCounts
 from ..memctrl.controller import ChannelController
 from ..memctrl.request import InFlightRequest
+from ..workloads.compiled import CompiledTrace, compile_traces, mapper_key
 from ..workloads.trace import Trace
 from .config import DefenseConfig, SystemConfig
 from .core import CoreState
@@ -35,12 +56,18 @@ EVENT_CORE = 0
 EVENT_BANK = 1
 EVENT_DONE = 2
 
-
-@dataclass
-class _Event:
-    cycle: int
-    kind: int
-    payload: int  # core_id, flat bank id, or core_id for done
+# Packed-event layout, most-significant first: cycle | seq | kind | payload.
+# Heap order on the packed int therefore equals order on the old
+# (cycle, seq, kind, payload) tuple, because seq is globally unique.
+_SEQ_BITS = 44                      # > 17e12 events; far beyond any run
+_PAYLOAD_BITS = 16
+_KIND_SHIFT = _PAYLOAD_BITS
+_LOW_BITS = _PAYLOAD_BITS + 2       # kind needs 2 bits
+_CYCLE_SHIFT = _SEQ_BITS + _LOW_BITS
+_PAYLOAD_MASK = (1 << _PAYLOAD_BITS) - 1
+_CORE_TAG = EVENT_CORE << _KIND_SHIFT
+_BANK_TAG = EVENT_BANK << _KIND_SHIFT
+_DONE_TAG = EVENT_DONE << _KIND_SHIFT
 
 
 class SystemSimulator:
@@ -49,15 +76,39 @@ class SystemSimulator:
     def __init__(
         self,
         system: SystemConfig,
-        traces: Sequence[Trace],
+        traces: Optional[Sequence[Trace]] = None,
         defense: Optional[DefenseConfig] = None,
         tmro_ns: Optional[float] = None,
+        compiled: Optional[Sequence[CompiledTrace]] = None,
     ) -> None:
+        if traces is None:
+            if compiled is None:
+                raise ValueError("need traces or compiled traces")
+            traces = [entry.trace for entry in compiled]
+        elif compiled is not None and any(
+            entry.trace is not trace
+            for entry, trace in zip(compiled, traces)
+        ):
+            raise ValueError(
+                "compiled traces do not correspond to the traces argument"
+            )
         if len(traces) != system.n_cores:
             raise ValueError("need one trace per core")
         self.system = system
         self.defense = defense or DefenseConfig()
         self.mapper = system.mapper()
+        if compiled is None:
+            compiled = compile_traces(traces, self.mapper)
+        elif any(
+            entry.key != mapper_key(self.mapper) for entry in compiled
+        ):
+            raise ValueError("compiled traces were built for another mapper")
+        if len(compiled) != system.n_cores:
+            raise ValueError("need one compiled trace per core")
+        total_banks = system.channels * system.banks_per_channel
+        if total_banks > _PAYLOAD_MASK or system.n_cores > _PAYLOAD_MASK:
+            raise ValueError("bank/core count exceeds event payload range")
+        self._compiled: List[CompiledTrace] = list(compiled)
         timings = system.timings
         tmro_cycles = (
             timings.clock.cycles(tmro_ns) if tmro_ns is not None else None
@@ -85,101 +136,164 @@ class SystemSimulator:
             CoreState(core_id=i, trace=trace, mlp=system.mlp)
             for i, trace in enumerate(traces)
         ]
-        self._heap: List = []
-        self._seq = count()
+        self._heap: List[int] = []
+        self._seq = 0
         self._now = 0
-
-    # -- event plumbing ---------------------------------------------------
-
-    def _push(self, cycle: int, kind: int, payload: int) -> None:
-        heapq.heappush(self._heap, (cycle, next(self._seq), kind, payload))
-
-    def _flat_bank(self, channel: int, bank: int) -> int:
-        return channel * self.system.banks_per_channel + bank
-
-    def _unflatten(self, flat: int) -> tuple:
-        per = self.system.banks_per_channel
-        return flat // per, flat % per
+        #: Cycle of each bank's single live heap entry, -1 when none.
+        self._bank_wake: List[int] = [-1] * total_banks
 
     # -- core issue logic -------------------------------------------------
 
     def _try_issue(self, core: CoreState, cycle: int) -> None:
-        while core.can_issue():
-            request = core.trace[core.index]
-            mapped = self.mapper.map_address(request.address)
-            controller = self.controllers[mapped.channel]
-            if not controller.can_accept(mapped.bank):
-                self._push(cycle + QUEUE_RETRY_CYCLES, EVENT_CORE, core.core_id)
+        compiled = self._compiled[core.core_id]
+        banks = compiled.banks
+        channels = compiled.channels
+        rows = compiled.rows
+        columns = compiled.columns
+        flats = compiled.flat_banks
+        writes = compiled.is_write
+        gaps = compiled.gaps
+        length = compiled.length
+        controllers = self.controllers
+        heap = self._heap
+        push = heapq.heappush
+        bank_wake = self._bank_wake
+        core_id = core.core_id
+        mlp = core.mlp
+        while core.index < length and core.outstanding < mlp:
+            index = core.index
+            bank = banks[index]
+            controller = controllers[channels[index]]
+            if not controller.can_accept(bank):
+                self._seq += 1
+                push(
+                    heap,
+                    (((cycle + QUEUE_RETRY_CYCLES) << _SEQ_BITS | self._seq)
+                     << _LOW_BITS) | _CORE_TAG | core_id,
+                )
                 return
             controller.enqueue(
                 InFlightRequest(
-                    core_id=core.core_id,
-                    mapped=mapped,
-                    is_write=request.is_write,
+                    core_id=core_id,
+                    is_write=writes[index],
                     enqueue_cycle=cycle,
+                    channel=channels[index],
+                    bank=bank,
+                    row=rows[index],
+                    column=columns[index],
                 )
             )
-            self._push(
-                cycle, EVENT_BANK, self._flat_bank(mapped.channel, mapped.bank)
-            )
-            core.issue()
-            if core.outstanding >= core.mlp:
+            flat = flats[index]
+            wake = bank_wake[flat]
+            if wake < 0 or cycle < wake:
+                bank_wake[flat] = cycle
+                self._seq += 1
+                push(
+                    heap,
+                    ((cycle << _SEQ_BITS | self._seq) << _LOW_BITS)
+                    | _BANK_TAG | flat,
+                )
+            core.index = index + 1
+            core.outstanding += 1
+            if core.outstanding >= mlp:
                 core.stalled_on_mlp = True
                 return
-            if not core.exhausted:
-                gap = core.trace[core.index].gap_cycles
+            if core.index < length:
+                gap = gaps[core.index]
                 if gap > 0:
-                    self._push(cycle + gap, EVENT_CORE, core.core_id)
+                    self._seq += 1
+                    push(
+                        heap,
+                        (((cycle + gap) << _SEQ_BITS | self._seq)
+                         << _LOW_BITS) | _CORE_TAG | core_id,
+                    )
                     return
                 # gap == 0: keep issuing at this cycle.
 
     # -- main loop ----------------------------------------------------------
 
     def run(self, max_cycles: int = 1 << 34) -> SimResult:
-        for core in self.cores:
+        """Run every core's trace to completion; returns the SimResult."""
+        heap = self._heap
+        push = heapq.heappush
+        pop = heapq.heappop
+        cores = self.cores
+        controllers = self.controllers
+        compiled = self._compiled
+        bank_wake = self._bank_wake
+        per_channel = self.system.banks_per_channel
+        extra = self.system.extra_latency_cycles
+        for core in cores:
             if len(core.trace) == 0:
                 core.finish_cycle = 0
                 continue
-            first_gap = core.trace[0].gap_cycles
-            self._push(first_gap, EVENT_CORE, core.core_id)
-        remaining = sum(len(core.trace) for core in self.cores)
+            self._seq += 1
+            push(
+                heap,
+                ((compiled[core.core_id].gaps[0] << _SEQ_BITS | self._seq)
+                 << _LOW_BITS) | _CORE_TAG | core.core_id,
+            )
+        remaining = sum(len(core.trace) for core in cores)
         pending_done = 0
-        while (remaining > 0 or pending_done > 0) and self._heap:
-            cycle, _seq, kind, payload = heapq.heappop(self._heap)
+        cycle = self._now
+        while (remaining > 0 or pending_done > 0) and heap:
+            event = pop(heap)
+            payload = event & _PAYLOAD_MASK
+            kind = (event >> _KIND_SHIFT) & 3
+            cycle = event >> _CYCLE_SHIFT
             if cycle > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
                     f"({remaining} requests outstanding)"
                 )
-            self._now = cycle
-            if kind == EVENT_CORE:
-                self._try_issue(self.cores[payload], cycle)
-            elif kind == EVENT_BANK:
-                channel, bank = self._unflatten(payload)
-                result = self.controllers[channel].service(bank, cycle)
-                extra = self.system.extra_latency_cycles
-                for completion in result.completions:
-                    self._push(
-                        completion.cycle + extra, EVENT_DONE, completion.core_id
+            if kind == EVENT_BANK:
+                if bank_wake[payload] != cycle:
+                    continue    # superseded by an earlier wakeup
+                bank_wake[payload] = -1
+                result = controllers[payload // per_channel].service(
+                    payload % per_channel, cycle
+                )
+                completions = result.completions
+                if completions:
+                    for completion in completions:
+                        self._seq += 1
+                        push(
+                            heap,
+                            (((completion.cycle + extra) << _SEQ_BITS
+                              | self._seq) << _LOW_BITS)
+                            | _DONE_TAG | completion.core_id,
+                        )
+                    remaining -= len(completions)
+                    pending_done += len(completions)
+                wake = result.next_wake
+                if wake is not None and wake >= cycle:
+                    if wake <= cycle:
+                        wake = cycle + 1
+                    # bank_wake[payload] is -1 here: it was cleared at
+                    # pop and neither service() nor the DONE pushes
+                    # touch it, so this push is never superseded.
+                    bank_wake[payload] = wake
+                    self._seq += 1
+                    push(
+                        heap,
+                        ((wake << _SEQ_BITS | self._seq) << _LOW_BITS)
+                        | _BANK_TAG | payload,
                     )
-                    remaining -= 1
-                    pending_done += 1
-                if result.next_wake is not None and result.next_wake >= cycle:
-                    self._push(
-                        max(result.next_wake, cycle + 1), EVENT_BANK, payload
-                    )
-            else:  # EVENT_DONE
+            elif kind == EVENT_DONE:
                 pending_done -= 1
-                core = self.cores[payload]
+                core = cores[payload]
                 core.retire(cycle)
                 if core.stalled_on_mlp:
                     core.stalled_on_mlp = False
-                    if not core.exhausted:
+                    if core.index < compiled[payload].length:
                         self._try_issue(core, cycle)
+            else:  # EVENT_CORE
+                self._try_issue(cores[payload], cycle)
+        self._now = cycle
         if remaining > 0:
             raise RuntimeError("event heap drained with work remaining")
         end_cycle = self._now
-        for controller in self.controllers:
+        for controller in controllers:
             controller.flush_open_rows(end_cycle + 1)
         return self._collect(end_cycle)
 
@@ -217,10 +331,19 @@ def simulate_workload(
     tmro_ns: Optional[float] = None,
     seed: int = 0,
 ) -> SimResult:
-    """Convenience wrapper: named workload, rate mode, one run."""
-    from ..workloads.synthetic import rate_mode_traces
+    """Convenience wrapper: named workload, rate mode, one run.
+
+    Trace generation and address mapping are served from the process-
+    local compiled-trace cache, so consecutive calls with the same
+    workload recipe (a defense sweep) share one compiled trace set.
+    """
+    from ..workloads.compiled import compiled_rate_mode_traces
 
     system = system or SystemConfig()
-    traces = rate_mode_traces(name, system.n_cores, n_requests_per_core, seed)
-    simulator = SystemSimulator(system, traces, defense, tmro_ns=tmro_ns)
+    compiled = compiled_rate_mode_traces(
+        name, system.n_cores, n_requests_per_core, seed, system.mapper()
+    )
+    simulator = SystemSimulator(
+        system, defense=defense, tmro_ns=tmro_ns, compiled=compiled
+    )
     return simulator.run()

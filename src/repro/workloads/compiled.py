@@ -1,0 +1,160 @@
+"""Compiled traces: addresses pre-mapped to (channel, bank, row) arrays.
+
+The simulator's issue path used to call ``MopAddressMapper.map_address``
+once per request *per run* — but the mapping depends only on the trace
+and the mapper geometry, not on the defense configuration, so a sweep of
+N defense configs repeated the identical work N times.  Compiling a
+trace once per ``(trace, mapper)`` pair turns the issue path into plain
+list indexing and lets every config in a sweep share the result.
+
+Two layers:
+
+* :func:`compile_trace` / :func:`compile_traces` — pure compilation of
+  one trace (or one per-core set) against a mapper.
+* :func:`compiled_rate_mode_traces` — a bounded, process-local cache in
+  front of trace *generation + compilation*, keyed by the full recipe
+  ``(workload, n_cores, n_requests, seed, mapper geometry)``.  Trace
+  generation is seeded and deterministic, so cache hits are bit-identical
+  to regeneration.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Sequence, Tuple
+
+from ..cache import CacheStats
+from ..dram.address import LINE_SHIFT, MopAddressMapper
+from .trace import Trace
+
+#: Bound on the process-local compiled-trace cache (entries, one per
+#: distinct (workload, cores, requests, seed, mapper) recipe).  Evicts
+#: least-recently-used; a full 20-workload sweep fits comfortably.
+CACHE_MAX_ENTRIES = 128
+
+MapperKey = Tuple[int, int, int]
+
+
+def mapper_key(mapper: MopAddressMapper) -> MapperKey:
+    """The geometry that determines the address mapping."""
+    return (
+        mapper.channels,
+        mapper.banks_per_channel,
+        mapper.lines_per_row_group,
+    )
+
+
+class CompiledTrace:
+    """One trace's requests pre-mapped against one mapper geometry.
+
+    Parallel lists, indexed by request position: ``channels[i]``,
+    ``banks[i]``, ``rows[i]``, ``columns[i]`` are the decomposed address
+    of request ``i``; ``flat_banks[i]`` is the simulator's flattened
+    ``channel * banks_per_channel + bank`` id; ``is_write[i]`` and
+    ``gaps[i]`` carry the request's direction and think time.  The source
+    :class:`Trace` stays reachable via ``trace``.
+    """
+
+    __slots__ = (
+        "trace",
+        "key",
+        "length",
+        "channels",
+        "banks",
+        "rows",
+        "columns",
+        "flat_banks",
+        "is_write",
+        "gaps",
+    )
+
+    def __init__(self, trace: Trace, mapper: MopAddressMapper) -> None:
+        requests = trace.requests
+        lines_per_group = mapper.lines_per_row_group
+        total_banks = mapper.total_banks
+        n_channels = mapper.channels
+        banks_per_channel = mapper.banks_per_channel
+        lines = [request.address >> LINE_SHIFT for request in requests]
+        groups = [line // lines_per_group for line in lines]
+        flat = [group % total_banks for group in groups]
+        self.trace = trace
+        self.key = mapper_key(mapper)
+        self.length = len(requests)
+        self.columns = [line % lines_per_group for line in lines]
+        self.rows = [group // total_banks for group in groups]
+        self.channels = [f % n_channels for f in flat]
+        self.banks = [f // n_channels for f in flat]
+        self.flat_banks = [
+            channel * banks_per_channel + bank
+            for channel, bank in zip(self.channels, self.banks)
+        ]
+        self.is_write = [request.is_write for request in requests]
+        self.gaps = [request.gap_cycles for request in requests]
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def compile_trace(trace: Trace, mapper: MopAddressMapper) -> CompiledTrace:
+    """Pre-map every request of ``trace`` against ``mapper``."""
+    return CompiledTrace(trace, mapper)
+
+
+def compile_traces(
+    traces: Sequence[Trace], mapper: MopAddressMapper
+) -> List[CompiledTrace]:
+    """Compile one per-core trace set against a single mapper."""
+    return [CompiledTrace(trace, mapper) for trace in traces]
+
+
+_cache: "OrderedDict[tuple, List[CompiledTrace]]" = OrderedDict()
+_stats = CacheStats()
+
+
+def compiled_rate_mode_traces(
+    name: str,
+    n_cores: int,
+    n_requests_per_core: int,
+    seed: int,
+    mapper: MopAddressMapper,
+) -> List[CompiledTrace]:
+    """Generate + compile a rate-mode trace set, with process-local reuse.
+
+    The cache key is the complete generation recipe plus the mapper
+    geometry, so a hit is exactly the set a fresh
+    :func:`repro.workloads.synthetic.rate_mode_traces` call followed by
+    :func:`compile_traces` would produce.  Entries are evicted LRU once
+    :data:`CACHE_MAX_ENTRIES` distinct recipes have been seen.
+    """
+    from .synthetic import rate_mode_traces
+
+    key = (name, n_cores, n_requests_per_core, seed, mapper_key(mapper))
+    cached = _cache.get(key)
+    if cached is not None:
+        _cache.move_to_end(key)
+        _stats.hits += 1
+        _stats.size = len(_cache)
+        return cached
+    _stats.misses += 1
+    traces = rate_mode_traces(name, n_cores, n_requests_per_core, seed)
+    compiled = compile_traces(traces, mapper)
+    _cache[key] = compiled
+    while len(_cache) > CACHE_MAX_ENTRIES:
+        _cache.popitem(last=False)
+    _stats.size = len(_cache)
+    return compiled
+
+
+def compiled_cache_stats() -> CacheStats:
+    """Current hit/miss/size counters of the compiled-trace cache."""
+    return CacheStats(
+        hits=_stats.hits, misses=_stats.misses, size=len(_cache)
+    )
+
+
+def clear_compiled_cache() -> None:
+    """Drop all cached trace sets and reset the counters (tests/bench)."""
+    _cache.clear()
+    _stats.hits = 0
+    _stats.misses = 0
+    _stats.size = 0

@@ -1,0 +1,109 @@
+"""Compiled traces must reproduce per-request map_address exactly."""
+
+import pytest
+
+from repro.dram.address import MopAddressMapper
+from repro.workloads.compiled import (
+    CACHE_MAX_ENTRIES,
+    clear_compiled_cache,
+    compile_trace,
+    compiled_cache_stats,
+    compiled_rate_mode_traces,
+    mapper_key,
+)
+from repro.workloads.profiles import ALL_WORKLOAD_NAMES
+from repro.workloads.synthetic import rate_mode_traces
+from repro.workloads.trace import Trace, TraceRequest
+
+#: The paper's Table II geometry and a deliberately different one, so a
+#: compilation bug tied to any single parameter cannot hide.
+MAPPERS = [
+    MopAddressMapper(),
+    MopAddressMapper(channels=3, banks_per_channel=8, lines_per_row_group=4),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compiled_cache()
+    yield
+    clear_compiled_cache()
+
+
+class TestMappingEquivalence:
+    @pytest.mark.parametrize("workload", ALL_WORKLOAD_NAMES)
+    @pytest.mark.parametrize("mapper", MAPPERS, ids=["table2", "alt"])
+    def test_matches_map_address_for_every_profile(self, workload, mapper):
+        for trace in rate_mode_traces(workload, 2, 64, seed=5):
+            compiled = compile_trace(trace, mapper)
+            assert compiled.length == len(trace)
+            for i, request in enumerate(trace):
+                mapped = mapper.map_address(request.address)
+                assert compiled.channels[i] == mapped.channel
+                assert compiled.banks[i] == mapped.bank
+                assert compiled.rows[i] == mapped.row
+                assert compiled.columns[i] == mapped.column
+                assert compiled.flat_banks[i] == (
+                    mapped.channel * mapper.banks_per_channel + mapped.bank
+                )
+                assert compiled.is_write[i] == request.is_write
+                assert compiled.gaps[i] == request.gap_cycles
+
+    @pytest.mark.parametrize("mapper", MAPPERS, ids=["table2", "alt"])
+    def test_extreme_addresses(self, mapper):
+        trace = Trace(
+            TraceRequest(address=address)
+            for address in (0, 63, 64, 1 << 20, (1 << 34) + 8192)
+        )
+        compiled = compile_trace(trace, mapper)
+        for i, request in enumerate(trace):
+            mapped = mapper.map_address(request.address)
+            assert (
+                compiled.channels[i],
+                compiled.banks[i],
+                compiled.rows[i],
+                compiled.columns[i],
+            ) == (mapped.channel, mapped.bank, mapped.row, mapped.column)
+
+    def test_key_records_geometry(self):
+        compiled = compile_trace(Trace([TraceRequest(0)]), MAPPERS[1])
+        assert compiled.key == mapper_key(MAPPERS[1])
+        assert compiled.key != mapper_key(MAPPERS[0])
+
+
+class TestCompiledCache:
+    def test_hit_returns_same_objects(self):
+        mapper = MopAddressMapper()
+        first = compiled_rate_mode_traces("mcf", 2, 50, 0, mapper)
+        second = compiled_rate_mode_traces("mcf", 2, 50, 0, mapper)
+        assert first is second
+        stats = compiled_cache_stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.size == 1
+
+    def test_distinct_recipes_not_conflated(self):
+        mapper = MopAddressMapper()
+        base = compiled_rate_mode_traces("mcf", 2, 50, 0, mapper)
+        assert compiled_rate_mode_traces("mcf", 2, 50, 1, mapper) is not base
+        assert compiled_rate_mode_traces("mcf", 2, 60, 0, mapper) is not base
+        assert compiled_rate_mode_traces("gcc", 2, 50, 0, mapper) is not base
+        other_mapper = MAPPERS[1]
+        assert (
+            compiled_rate_mode_traces("mcf", 2, 50, 0, other_mapper)
+            is not base
+        )
+
+    def test_cached_equals_fresh_generation(self):
+        mapper = MopAddressMapper()
+        compiled_rate_mode_traces("add", 2, 40, 3, mapper)  # populate
+        cached = compiled_rate_mode_traces("add", 2, 40, 3, mapper)
+        fresh = rate_mode_traces("add", 2, 40, 3)
+        for compiled, trace in zip(cached, fresh):
+            assert [r.address for r in compiled.trace] == [
+                r.address for r in trace
+            ]
+
+    def test_eviction_is_bounded(self):
+        mapper = MopAddressMapper()
+        for seed in range(CACHE_MAX_ENTRIES + 5):
+            compiled_rate_mode_traces("mcf", 1, 4, seed, mapper)
+        assert compiled_cache_stats().size == CACHE_MAX_ENTRIES

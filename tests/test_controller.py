@@ -83,6 +83,25 @@ class TestDemandPath:
             controller.enqueue(demand(0, 0, 99))
 
 
+class TestInFlightRequest:
+    def test_requires_an_address(self):
+        with pytest.raises(TypeError):
+            InFlightRequest(core_id=0, is_write=True, enqueue_cycle=5)
+
+    def test_rejects_mixed_address_forms(self):
+        mapped = MappedAddress(channel=0, bank=1, row=2, column=0)
+        with pytest.raises(TypeError):
+            InFlightRequest(core_id=0, mapped=mapped, row=7)
+
+    def test_flattened_coordinates_match_mapped(self):
+        mapped = MappedAddress(channel=1, bank=3, row=7, column=2)
+        via_mapped = InFlightRequest(core_id=0, mapped=mapped)
+        via_ints = InFlightRequest(core_id=0, channel=1, bank=3, row=7,
+                                   column=2)
+        assert via_mapped.mapped == via_ints.mapped == mapped
+        assert (via_ints.channel, via_ints.bank, via_ints.row) == (1, 3, 7)
+
+
 class TestMopAndIdleClose:
     def test_mop_burst_closes_after_n_columns(self, timings):
         controller = make_controller(timings, mop_burst_lines=2,

@@ -1,0 +1,163 @@
+"""Seeded old-vs-new engine equivalence: SimResults must be bit-identical.
+
+The optimized :class:`SystemSimulator` (packed events, bank-wakeup
+deduplication, compiled traces, slotted hot structures) must produce
+exactly the same :class:`SimResult` as the preserved pre-optimization
+:class:`ReferenceSimulator` on every workload/defense combination.  Any
+mismatch here means the optimization changed simulation semantics.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import DefenseConfig, SystemConfig
+from repro.sim.reference import ReferenceSimulator
+from repro.sim.system import SystemSimulator
+from repro.workloads.attacks import hammer_trace, row_press_trace
+from repro.workloads.synthetic import rate_mode_traces
+from repro.workloads.trace import Trace
+
+REQUESTS = 150
+
+
+def result_fields(result):
+    """Every SimResult field, flattened for exact comparison."""
+    return {
+        "elapsed_cycles": result.elapsed_cycles,
+        "core_cycles": result.core_cycles,
+        "core_requests": result.core_requests,
+        "counts": dataclasses.asdict(result.counts),
+        "row_hits": result.row_hits,
+        "row_misses": result.row_misses,
+        "row_conflicts": result.row_conflicts,
+        "rfm_mitigations": result.rfm_mitigations,
+        "tmro_closures": result.tmro_closures,
+    }
+
+
+def assert_equivalent(system, traces, defense=None, tmro_ns=None):
+    reference = ReferenceSimulator(
+        system, traces, defense, tmro_ns=tmro_ns
+    ).run()
+    optimized = SystemSimulator(
+        system, traces, defense, tmro_ns=tmro_ns
+    ).run()
+    assert result_fields(optimized) == result_fields(reference)
+
+
+DEFENSES = [
+    None,
+    DefenseConfig(tracker="graphene", scheme="no-rp"),
+    DefenseConfig(tracker="graphene", scheme="impress-p"),
+    DefenseConfig(tracker="graphene", scheme="express", alpha=1.0),
+    DefenseConfig(tracker="graphene", scheme="impress-n"),
+    DefenseConfig(tracker="para", scheme="no-rp", trh=100),
+    DefenseConfig(tracker="mithril", scheme="no-rp", rfmth=20),
+    DefenseConfig(tracker="mint", scheme="impress-n", trh=1600, rfmth=20),
+]
+
+
+def _defense_id(defense):
+    if defense is None:
+        return "none"
+    return f"{defense.tracker}-{defense.scheme}"
+
+
+class TestSeededEquivalence:
+    @pytest.mark.parametrize("defense", DEFENSES, ids=_defense_id)
+    @pytest.mark.parametrize("workload", ["mcf", "copy", "add_copy"])
+    def test_workload_defense_matrix(self, workload, defense):
+        system = SystemConfig(n_cores=2, banks_per_channel=8)
+        traces = rate_mode_traces(workload, 2, REQUESTS, seed=7)
+        assert_equivalent(system, traces, defense)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeds(self, seed):
+        system = SystemConfig(n_cores=2, banks_per_channel=8)
+        traces = rate_mode_traces("mcf", 2, REQUESTS, seed=seed)
+        assert_equivalent(
+            system, traces, DefenseConfig(tracker="graphene",
+                                          scheme="impress-p")
+        )
+
+    def test_tmro_override(self):
+        system = SystemConfig(n_cores=2, banks_per_channel=8)
+        traces = rate_mode_traces("copy", 2, REQUESTS, seed=4)
+        assert_equivalent(system, traces, None, tmro_ns=66.0)
+
+    def test_multi_channel(self):
+        system = SystemConfig(n_cores=2, channels=2, banks_per_channel=8)
+        traces = rate_mode_traces("add", 2, REQUESTS, seed=2)
+        assert_equivalent(
+            system, traces, DefenseConfig(tracker="graphene",
+                                          scheme="impress-p")
+        )
+
+    def test_eight_core_table2_shape(self):
+        system = SystemConfig()
+        traces = rate_mode_traces("triad", 8, 60, seed=9)
+        assert_equivalent(
+            system, traces, DefenseConfig(tracker="mint", scheme="impress-n",
+                                          rfmth=20)
+        )
+
+    def test_single_core_canonical(self):
+        system = SystemConfig(n_cores=1)
+        traces = rate_mode_traces("mcf", 1, 400, seed=0)
+        assert_equivalent(system, traces)
+
+    def test_empty_traces(self):
+        system = SystemConfig(n_cores=2, banks_per_channel=8)
+        assert_equivalent(system, [Trace([]), Trace([])])
+
+    def test_attack_traffic(self):
+        system = SystemConfig(n_cores=1, banks_per_channel=4)
+        mapper = system.mapper()
+        trace = hammer_trace(mapper, bank=0, rows=[10, 30], n_requests=600)
+        assert_equivalent(
+            system, [trace],
+            DefenseConfig(tracker="graphene", scheme="no-rp", trh=150),
+        )
+
+    def test_row_press_traffic(self):
+        system = SystemConfig(n_cores=1, banks_per_channel=4)
+        mapper = system.mapper()
+        trace = row_press_trace(
+            mapper, bank=0, row=12, n_requests=300, hold_gap_cycles=40
+        )
+        assert_equivalent(
+            system, [trace],
+            DefenseConfig(tracker="graphene", scheme="impress-p", trh=200),
+        )
+
+
+class TestCompiledPathInvariants:
+    def test_precompiled_matches_on_the_fly(self):
+        from repro.workloads.compiled import compile_traces
+
+        system = SystemConfig(n_cores=2, banks_per_channel=8)
+        traces = rate_mode_traces("mcf", 2, REQUESTS, seed=11)
+        compiled = compile_traces(traces, system.mapper())
+        from_traces = SystemSimulator(system, traces).run()
+        from_compiled = SystemSimulator(system, compiled=compiled).run()
+        assert result_fields(from_traces) == result_fields(from_compiled)
+
+    def test_wrong_mapper_rejected(self):
+        from repro.dram.address import MopAddressMapper
+        from repro.workloads.compiled import compile_traces
+
+        system = SystemConfig(n_cores=1, banks_per_channel=8)
+        traces = rate_mode_traces("mcf", 1, 20, seed=0)
+        wrong = compile_traces(
+            traces, MopAddressMapper(channels=2, banks_per_channel=4)
+        )
+        with pytest.raises(ValueError):
+            SystemSimulator(system, compiled=wrong)
+
+    def test_rerun_determinism(self):
+        system = SystemConfig(n_cores=2, banks_per_channel=8)
+        traces = rate_mode_traces("add", 2, REQUESTS, seed=1)
+        first = SystemSimulator(system, traces).run()
+        second = SystemSimulator(system, traces).run()
+        assert result_fields(first) == result_fields(second)

@@ -70,3 +70,40 @@ class TestSweepRunner:
             n_requests=80,
         )
         assert runner.speedup("gcc", None, None) == pytest.approx(1.0)
+
+    def test_cache_stats_track_hits_and_misses(self):
+        runner = SweepRunner(
+            system=SystemConfig(n_cores=2, banks_per_channel=8),
+            n_requests=80,
+        )
+        assert runner.cache_stats().size == 0
+        runner.run("mcf", None)
+        runner.run("mcf", None)
+        stats = runner.cache_stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_tmro_sweep_shares_one_baseline_entry(self):
+        # The key contract: the baseline leg of speedup() is cached under
+        # (workload, baseline, None), so a tMRO sweep adds one entry per
+        # point plus a single shared baseline.
+        runner = SweepRunner(
+            system=SystemConfig(n_cores=2, banks_per_channel=8),
+            n_requests=80,
+        )
+        for tmro_ns in (36.0, 66.0, 96.0):
+            runner.speedup("copy", None, None, tmro_ns=tmro_ns)
+        stats = runner.cache_stats()
+        assert stats.size == 4          # 3 sweep points + 1 baseline
+        assert stats.hits == 2          # baseline reused on points 2 and 3
+
+    def test_clear_cache_resets(self):
+        runner = SweepRunner(
+            system=SystemConfig(n_cores=2, banks_per_channel=8),
+            n_requests=80,
+        )
+        runner.run("mcf", None)
+        runner.clear_cache()
+        stats = runner.cache_stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+        assert stats.hit_rate == 0.0

@@ -1,0 +1,218 @@
+"""Tests for the perf-benchmark harness and the comparison gate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    ARTIFACT_SCHEMA,
+    BenchReport,
+    BenchResult,
+    BenchSpec,
+    artifact_index,
+    compare_to_previous,
+    latest_artifact,
+    machine_metadata,
+    next_artifact_path,
+    run_benchmarks,
+    run_one,
+    write_artifact,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_COMPARE = REPO_ROOT / "tools" / "bench_compare.py"
+
+#: A tiny spec set so harness tests stay fast.
+TINY_SPECS = (
+    BenchSpec("tiny_fast", "mcf", n_cores=1),
+    BenchSpec("tiny_reference", "mcf", n_cores=1, engine="reference"),
+)
+
+
+def tiny_report(**overrides):
+    report = run_benchmarks(
+        quick=True, repeats=1, n_requests=30, specs=TINY_SPECS
+    )
+    for key, value in overrides.items():
+        setattr(report, key, value)
+    return report
+
+
+class TestHarness:
+    def test_run_one_measures_cycles(self):
+        result = run_one(BenchSpec("t", "mcf", n_cores=1), 30, repeats=1)
+        assert result.cycles > 0
+        assert result.seconds > 0
+        assert result.cycles_per_sec == result.cycles / result.seconds
+
+    def test_reference_and_fast_simulate_identically(self):
+        fast = run_one(TINY_SPECS[0], 30, repeats=1)
+        reference = run_one(TINY_SPECS[1], 30, repeats=1)
+        assert fast.cycles == reference.cycles
+
+    def test_fixed_requests_pins_run_shape(self):
+        spec = BenchSpec("pinned", "mcf", n_cores=1, fixed_requests=40)
+        result = run_one(spec, 30, repeats=1)
+        assert result.n_requests == 40
+
+    def test_report_structure(self):
+        report = tiny_report()
+        payload = report.to_json()
+        assert payload["schema"] == ARTIFACT_SCHEMA
+        assert payload["calibration_ops_per_sec"] > 0
+        assert len(payload["benchmarks"]) == len(TINY_SPECS)
+        assert {"hits", "misses", "hit_rate"} <= set(payload["sweep_cache"])
+        assert {"hits", "misses", "hit_rate"} <= set(payload["trace_cache"])
+        for row in payload["benchmarks"]:
+            assert row["cycles_per_sec"] > 0
+
+    def test_speedup_vs_reference_uses_canonical_pair(self):
+        report = tiny_report()
+        # The tiny specs are not the canonical names, so no speedup.
+        assert report.speedup_vs_reference() is None
+        renamed = [
+            BenchResult(
+                spec=BenchSpec("single_core", "mcf", n_cores=1),
+                n_requests=30, cycles=1000, seconds=0.5, repeats=1,
+            ),
+            BenchResult(
+                spec=BenchSpec("single_core_reference", "mcf", n_cores=1,
+                               engine="reference"),
+                n_requests=30, cycles=1000, seconds=1.0, repeats=1,
+            ),
+        ]
+        report.results = renamed
+        assert report.speedup_vs_reference() == pytest.approx(2.0)
+
+    def test_machine_metadata_fields(self):
+        meta = machine_metadata()
+        assert meta["python"]
+        assert meta["platform"]
+
+
+class TestArtifacts:
+    def test_indexing_and_next_path(self, tmp_path):
+        assert artifact_index(Path("BENCH_0042.json")) == 42
+        assert artifact_index(Path("other.json")) is None
+        assert next_artifact_path(tmp_path).name == "BENCH_0001.json"
+        (tmp_path / "BENCH_0001.json").write_text("{}")
+        (tmp_path / "BENCH_0007.json").write_text("{}")
+        assert next_artifact_path(tmp_path).name == "BENCH_0008.json"
+        assert latest_artifact(tmp_path).name == "BENCH_0007.json"
+
+    def test_write_and_compare_roundtrip(self, tmp_path):
+        report = tiny_report()
+        path = write_artifact(report, tmp_path)
+        assert path.name == "BENCH_0001.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == ARTIFACT_SCHEMA
+        lines = compare_to_previous(report, path)
+        assert any("1.00x" in line for line in lines)
+
+    def test_compare_without_baseline(self):
+        report = tiny_report()
+        lines = compare_to_previous(report, None)
+        assert "no previous baseline" in lines[0]
+
+
+def _artifact(tmp_path, name, cycles_per_sec, calibration=1_000_000.0,
+              n_requests=30):
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "quick": True,
+        "calibration_ops_per_sec": calibration,
+        "benchmarks": [
+            {
+                "name": "single_core",
+                "n_requests": n_requests,
+                "n_cores": 1,
+                "cycles_per_sec": cycles_per_sec,
+            }
+        ],
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def run_compare(*args):
+    return subprocess.run(
+        [sys.executable, str(BENCH_COMPARE), *map(str, args)],
+        capture_output=True, text=True,
+    )
+
+
+class TestBenchCompareTool:
+    def test_pass_within_threshold(self, tmp_path):
+        base = _artifact(tmp_path, "BENCH_0001.json", 100_000.0)
+        cur = _artifact(tmp_path, "BENCH_0002.json", 90_000.0)
+        proc = run_compare(base, cur, "--max-regression", "0.30")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_fails_on_gross_regression(self, tmp_path):
+        base = _artifact(tmp_path, "BENCH_0001.json", 100_000.0)
+        cur = _artifact(tmp_path, "BENCH_0002.json", 50_000.0)
+        proc = run_compare(base, cur, "--max-regression", "0.30")
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+
+    def test_calibration_normalizes_machine_speed(self, tmp_path):
+        # Current machine is 2x slower (half the calibration score) and
+        # the raw throughput halved with it: normalized ratio is 1.0.
+        base = _artifact(tmp_path, "BENCH_0001.json", 100_000.0,
+                         calibration=2_000_000.0)
+        cur = _artifact(tmp_path, "BENCH_0002.json", 50_000.0,
+                        calibration=1_000_000.0)
+        proc = run_compare(base, cur)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        proc_raw = run_compare(base, cur, "--no-normalize")
+        assert proc_raw.returncode == 1
+
+    def test_errors_when_nothing_comparable(self, tmp_path):
+        base = _artifact(tmp_path, "BENCH_0001.json", 100_000.0,
+                         n_requests=30)
+        cur = _artifact(tmp_path, "BENCH_0002.json", 100_000.0,
+                        n_requests=400)
+        proc = run_compare(base, cur)
+        assert proc.returncode == 2
+        assert "no comparable benchmarks" in proc.stdout
+
+    def test_directory_resolution_picks_latest(self, tmp_path):
+        _artifact(tmp_path, "BENCH_0001.json", 100_000.0)
+        _artifact(tmp_path, "BENCH_0002.json", 95_000.0)
+        proc = run_compare(tmp_path, tmp_path)
+        assert proc.returncode == 0
+        assert "BENCH_0002.json" in proc.stdout
+
+
+class TestCliIntegration:
+    def test_repro_bench_no_write(self, tmp_path, capsys):
+        from repro.bench import run_bench_command
+
+        code = run_bench_command(
+            quick=True, repeats=1, n_requests=30,
+            out_dir=tmp_path, write=False,
+        )
+        assert code == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_repro_bench_writes_artifact(self, tmp_path):
+        from repro.bench import run_bench_command
+
+        messages = []
+        code = run_bench_command(
+            quick=True, repeats=1, n_requests=30,
+            out_dir=tmp_path, progress=messages.append,
+        )
+        assert code == 0
+        artifact = tmp_path / "BENCH_0001.json"
+        assert artifact.is_file()
+        payload = json.loads(artifact.read_text())
+        names = {row["name"] for row in payload["benchmarks"]}
+        assert {"single_core", "single_core_reference",
+                "tracker_graphene", "class_stream"} <= names
+        assert any("speedup" in message for message in messages)

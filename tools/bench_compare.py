@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<n>.json artifacts and fail on gross regression.
+
+Usage (the CI perf-smoke gate):
+
+    python tools/bench_compare.py benchmarks/baselines bench-artifacts \
+        --max-regression 0.30
+
+Each argument is a ``BENCH_<n>.json`` file or a directory holding them
+(the newest artifact is picked; directories prefer the newest artifact
+whose quick/full mode matches the other side).  Benchmarks are matched
+by name, and only rows with identical ``n_requests`` and ``n_cores`` are
+compared — throughput is not comparable across different run shapes.
+
+Because baseline and current may come from different machines, each
+throughput is normalized by its artifact's ``calibration_ops_per_sec``
+(a pure-Python fixed-work score recorded at measurement time) before
+computing the ratio; ``--no-normalize`` compares raw numbers.  The
+script exits non-zero if any compared benchmark's normalized throughput
+dropped by more than ``--max-regression``, or if nothing was comparable
+(so a config drift cannot silently disable the gate).
+
+This script deliberately has no dependencies beyond the standard
+library so CI can run it without installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+ARTIFACT_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def artifact_index(path: Path) -> Optional[int]:
+    match = ARTIFACT_PATTERN.search(path.name)
+    return int(match.group(1)) if match else None
+
+
+def artifacts_in(directory: Path) -> List[Path]:
+    found = [
+        path for path in directory.iterdir()
+        if artifact_index(path) is not None
+    ]
+    return sorted(found, key=artifact_index)
+
+
+def resolve(spec: str, prefer_quick: Optional[bool] = None) -> Path:
+    """A BENCH file from a path-or-directory spec."""
+    path = Path(spec)
+    if path.is_file():
+        return path
+    if path.is_dir():
+        candidates = artifacts_in(path)
+        if not candidates:
+            raise FileNotFoundError(f"no BENCH_*.json in {path}")
+        if prefer_quick is not None:
+            matching = []
+            for candidate in candidates:
+                try:
+                    if load(candidate).get("quick") is prefer_quick:
+                        matching.append(candidate)
+                except (json.JSONDecodeError, OSError):
+                    print(f"warning: skipping unreadable {candidate}")
+            if matching:
+                return matching[-1]
+        return candidates[-1]
+    raise FileNotFoundError(spec)
+
+
+def load(path: Path) -> Dict:
+    return json.loads(path.read_text())
+
+
+def normalized_rows(artifact: Dict, normalize: bool) -> Dict[str, Dict]:
+    """name -> row, with throughput divided by the calibration score."""
+    scale = 1.0
+    if normalize:
+        calibration = artifact.get("calibration_ops_per_sec")
+        if calibration:
+            scale = 1.0 / calibration
+    rows = {}
+    for row in artifact.get("benchmarks", []):
+        if row.get("cycles_per_sec"):
+            row = dict(row)
+            row["normalized"] = row["cycles_per_sec"] * scale
+            rows[row["name"]] = row
+    return rows
+
+
+def compare(
+    baseline: Dict, current: Dict, max_regression: float, normalize: bool
+) -> int:
+    base_rows = normalized_rows(baseline, normalize)
+    cur_rows = normalized_rows(current, normalize)
+    compared = 0
+    regressions = []
+    label = "normalized " if normalize else ""
+    for name, cur in sorted(cur_rows.items()):
+        base = base_rows.get(name)
+        if base is None:
+            print(f"  {name:<24} (no baseline row; skipped)")
+            continue
+        if (
+            base.get("n_requests") != cur.get("n_requests")
+            or base.get("n_cores") != cur.get("n_cores")
+        ):
+            print(f"  {name:<24} (run shape changed; skipped)")
+            continue
+        compared += 1
+        ratio = cur["normalized"] / base["normalized"]
+        status = "ok"
+        if ratio < 1.0 - max_regression:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(
+            f"  {name:<24} {ratio:6.2f}x {label}throughput  [{status}]"
+        )
+    if compared == 0:
+        print("error: no comparable benchmarks between the two artifacts")
+        return 2
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{max_regression:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"OK: {compared} benchmark(s) within {max_regression:.0%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="BENCH file or directory")
+    parser.add_argument("current", help="BENCH file or directory")
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="maximum tolerated throughput drop (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--no-normalize", action="store_true",
+        help="compare raw cycles/sec without calibration normalization",
+    )
+    args = parser.parse_args(argv)
+    current_path = resolve(args.current)
+    current = load(current_path)
+    baseline_path = resolve(args.baseline, prefer_quick=current.get("quick"))
+    baseline = load(baseline_path)
+    print(f"baseline: {baseline_path}")
+    print(f"current:  {current_path}")
+    return compare(
+        baseline, current, args.max_regression, not args.no_normalize
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

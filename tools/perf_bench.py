@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the perf-benchmark harness.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench``; kept as a plain
+script so the benchmark can be run without installing the package:
+
+    python tools/perf_bench.py --quick
+
+See ``docs/performance.md`` for what is measured and how to read the
+``BENCH_<n>.json`` artifacts.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench import main  # noqa: E402  (path setup must come first)
+
+if __name__ == "__main__":
+    raise SystemExit(main())
