@@ -56,14 +56,27 @@ CANONICAL_WORKLOAD = "mcf"
 
 @dataclass(frozen=True)
 class BenchSpec:
-    """One timed simulation configuration."""
+    """One timed benchmark configuration.
+
+    ``engine`` selects what is measured:
+
+    * ``"fast"`` / ``"reference"`` — a full simulation; ``cycles`` are
+      simulated DRAM cycles.
+    * ``"tracker-kernel"`` — the tracker's record kernel alone, driven
+      by a seeded synthetic activation stream; ``cycles`` counts kernel
+      record calls, so ``cycles_per_sec`` reads as records/second.
+    * ``"sweep"`` — a fresh ``SweepRunner.run_many`` batch over a small
+      (workload x defense) grid; ``cycles`` sums the simulated cycles
+      of every point, so ``cycles_per_sec`` is sweep throughput
+      including trace compilation and cache management.
+    """
 
     name: str
     workload: str
     tracker: str = "none"
     scheme: str = "no-rp"
     n_cores: int = 8
-    engine: str = "fast"           # "fast" | "reference"
+    engine: str = "fast"
     #: Pin this benchmark's request count regardless of quick/full mode.
     #: The canonical single-core pair uses it so the headline speedup is
     #: measured on the same run shape in every artifact.
@@ -80,9 +93,20 @@ class BenchSpec:
         return SystemConfig(n_cores=self.n_cores)
 
 
+#: Kernel-microbench records per configured request (quick mode's 400
+#: requests drive 12k records — enough churn to fill every table).
+KERNEL_RECORDS_PER_REQUEST = 30
+
+#: RFM cadence for in-DRAM trackers in the kernel microbench.
+KERNEL_RFM_EVERY = 32
+
+#: The sweep-throughput row's pinned grid shape.
+SWEEP_BENCH_REQUESTS = 200
+
 #: The canonical benchmark set: the acceptance pair (fast + reference on
-#: the single-core config), one benchmark per workload class, and one
-#: per tracker.
+#: the single-core config), one benchmark per workload class, one
+#: simulation per tracker, a record-kernel microbench per tracker, and
+#: the sweep-batch row.
 CANONICAL_BENCHMARKS: Sequence[BenchSpec] = (
     BenchSpec(
         "single_core", CANONICAL_WORKLOAD, n_cores=1,
@@ -100,6 +124,23 @@ CANONICAL_BENCHMARKS: Sequence[BenchSpec] = (
     BenchSpec("tracker_para", "mcf", tracker="para", scheme="no-rp"),
     BenchSpec("tracker_mithril", "mcf", tracker="mithril", scheme="no-rp"),
     BenchSpec("tracker_mint", "mcf", tracker="mint", scheme="impress-n"),
+    BenchSpec("tracker_prac", "mcf", tracker="prac", scheme="impress-p"),
+    BenchSpec("tracker_dsac", "mcf", tracker="dsac", scheme="no-rp"),
+    BenchSpec("ukernel_graphene", "synthetic", tracker="graphene",
+              scheme="kernel", n_cores=1, engine="tracker-kernel"),
+    BenchSpec("ukernel_para", "synthetic", tracker="para",
+              scheme="kernel", n_cores=1, engine="tracker-kernel"),
+    BenchSpec("ukernel_mithril", "synthetic", tracker="mithril",
+              scheme="kernel", n_cores=1, engine="tracker-kernel"),
+    BenchSpec("ukernel_mint", "synthetic", tracker="mint",
+              scheme="kernel", n_cores=1, engine="tracker-kernel"),
+    BenchSpec("ukernel_prac", "synthetic", tracker="prac",
+              scheme="kernel", n_cores=1, engine="tracker-kernel"),
+    BenchSpec("ukernel_dsac", "synthetic", tracker="dsac",
+              scheme="kernel", n_cores=1, engine="tracker-kernel"),
+    BenchSpec("sweep_run_many", "mcf+add", tracker="graphene",
+              scheme="impress-p", n_cores=2, engine="sweep",
+              fixed_requests=SWEEP_BENCH_REQUESTS),
 )
 
 
@@ -238,6 +279,113 @@ MIN_MEASURE_SECONDS = 0.3
 MAX_REPEATS = 20
 
 
+def _simulation_pass(spec: BenchSpec, n_requests: int):
+    """Timed-pass closure for the ``fast`` / ``reference`` engines.
+
+    Trace generation and compilation stay outside the timed region —
+    the benchmark measures engine throughput, not trace synthesis.
+    """
+    system = spec.system()
+    defense = spec.defense()
+    compiled = compiled_rate_mode_traces(
+        spec.workload, system.n_cores, n_requests, 0, system.mapper()
+    )
+    traces = [entry.trace for entry in compiled]
+    if spec.engine == "reference":
+        def timed_pass() -> int:
+            return ReferenceSimulator(system, traces, defense).run(
+            ).elapsed_cycles
+    else:
+        def timed_pass() -> int:
+            return SystemSimulator(
+                system, traces, defense, compiled=compiled
+            ).run().elapsed_cycles
+    return timed_pass
+
+
+def _tracker_kernel_pass(spec: BenchSpec, n_requests: int):
+    """Timed-pass closure for the per-tracker record microbench.
+
+    Replays a pre-generated skewed (row, raw-weight) stream straight
+    into the tracker's raw kernel (a fresh tracker per pass), issuing
+    ``on_rfm`` every :data:`KERNEL_RFM_EVERY` records for the in-DRAM
+    trackers.  Returns the record count, so the artifact row's
+    ``cycles_per_sec`` reads as kernel records per second.
+    """
+    import random
+
+    defense = DefenseConfig(
+        tracker=spec.tracker, scheme="impress-p", trh=4000.0
+    )
+    scale = 1 << defense.fraction_bits
+    n_records = n_requests * KERNEL_RECORDS_PER_REQUEST
+    rng = random.Random(1234)
+    rows: List[int] = []
+    raws: List[int] = []
+    for _ in range(n_records):
+        # A few hot aggressors over a light tail, like the goldens.
+        rows.append(
+            rng.randrange(8) if rng.random() < 0.25
+            else rng.randrange(4096)
+        )
+        raws.append(scale + rng.randrange(2 * scale))
+    uses_rfm = spec.tracker in ("mithril", "mint")
+
+    def timed_pass() -> int:
+        tracker = defense._build_tracker(0)
+        kernel = tracker.raw_kernel(scale)
+        if uses_rfm:
+            on_rfm = tracker.on_rfm
+            step = 0
+            for row, raw in zip(rows, raws):
+                kernel(row, raw)
+                step += 1
+                if not step % KERNEL_RFM_EVERY:
+                    on_rfm(step)
+        else:
+            for row, raw in zip(rows, raws):
+                kernel(row, raw)
+        return n_records
+
+    return timed_pass
+
+
+def _sweep_pass(spec: BenchSpec, n_requests: int):
+    """Timed-pass closure for the ``run_many`` sweep-throughput row.
+
+    Each pass batches a small (workload x defense) grid through a fresh
+    :class:`SweepRunner` (serial — the row must be comparable on
+    single-core CI hosts) and returns the summed simulated cycles, so
+    the row tracks end-to-end sweep throughput including cache
+    management and result merging.
+    """
+    workloads = spec.workload.split("+")
+    defense = spec.defense()
+
+    def timed_pass() -> int:
+        runner = SweepRunner(
+            system=SystemConfig(
+                n_cores=spec.n_cores, banks_per_channel=8
+            ),
+            n_requests=n_requests,
+        )
+        results = runner.run_many(
+            [(workload, None) for workload in workloads]
+            + [(workload, defense) for workload in workloads]
+        )
+        return sum(result.elapsed_cycles for result in results)
+
+    return timed_pass
+
+
+_ENGINE_PASSES = {
+    "fast": _simulation_pass,
+    "reference": _simulation_pass,
+    "tracker-kernel": _tracker_kernel_pass,
+    "sweep": _sweep_pass,
+}
+
+
 def run_one(spec: BenchSpec, n_requests: int, repeats: int) -> BenchResult:
     """Time one benchmark: the best (minimum) wall time over its samples.
 
@@ -246,14 +394,9 @@ def run_one(spec: BenchSpec, n_requests: int, repeats: int) -> BenchResult:
     at :data:`MAX_REPEATS`), so short benchmarks get enough samples for
     the minimum to be a stable machine-speed estimate.
     """
-    system = spec.system()
-    defense = spec.defense()
     if spec.fixed_requests is not None:
         n_requests = spec.fixed_requests
-    compiled = compiled_rate_mode_traces(
-        spec.workload, system.n_cores, n_requests, 0, system.mapper()
-    )
-    traces = [entry.trace for entry in compiled]
+    timed_pass = _ENGINE_PASSES[spec.engine](spec, n_requests)
     best = float("inf")
     cycles = 0
     total = 0.0
@@ -262,17 +405,11 @@ def run_one(spec: BenchSpec, n_requests: int, repeats: int) -> BenchResult:
         total < MIN_MEASURE_SECONDS and samples < MAX_REPEATS
     ):
         start = time.perf_counter()
-        if spec.engine == "reference":
-            result = ReferenceSimulator(system, traces, defense).run()
-        else:
-            result = SystemSimulator(
-                system, traces, defense, compiled=compiled
-            ).run()
+        cycles = timed_pass()
         elapsed = time.perf_counter() - start
         total += elapsed
         samples += 1
         best = min(best, elapsed)
-        cycles = result.elapsed_cycles
     return BenchResult(
         spec=spec, n_requests=n_requests, cycles=cycles,
         seconds=best, repeats=samples,
@@ -331,6 +468,57 @@ def run_benchmarks(
         sweep_cache=_sweep_cache_sample(n_requests),
         trace_cache=compiled_cache_stats().to_json(),
     )
+
+
+# -- profiling ------------------------------------------------------------
+
+
+def profile_row(
+    name: str,
+    quick: bool = False,
+    n_requests: Optional[int] = None,
+    top: int = 25,
+    progress=print,
+) -> int:
+    """Run one bench row under cProfile and print the hottest functions.
+
+    The row's timed pass runs once unprofiled (warming trace and sweep
+    caches, exactly like the sampling loop does) and once under the
+    profiler, so the table reflects steady-state behavior.  This is the
+    ``repro bench --profile <row>`` entry point: perf work should start
+    from this table, not from guesses.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    specs = {spec.name: spec for spec in CANONICAL_BENCHMARKS}
+    spec = specs.get(name)
+    if spec is None:
+        progress(
+            f"error: unknown benchmark {name!r}; "
+            f"choose from: {', '.join(sorted(specs))}"
+        )
+        return 2
+    if n_requests is None:
+        n_requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    if spec.fixed_requests is not None:
+        n_requests = spec.fixed_requests
+    timed_pass = _ENGINE_PASSES[spec.engine](spec, n_requests)
+    timed_pass()  # warm-up: steady-state caches, like the sampling loop
+    profiler = cProfile.Profile()
+    profiler.enable()
+    cycles = timed_pass()
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    progress(
+        f"profile of {name} ({spec.engine} engine, "
+        f"{n_requests} requests, {cycles} cycles):"
+    )
+    progress(buffer.getvalue().rstrip())
+    return 0
 
 
 # -- artifacts ------------------------------------------------------------
@@ -497,10 +685,26 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="explicit BENCH_<n>.json to compare against "
              "(default: latest in --out-dir)",
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="ROW",
+        help="run one benchmark row under cProfile and print the "
+             "hottest functions instead of benchmarking",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=25,
+        help="rows of the cProfile table to print (with --profile)",
+    )
 
 
 def command_from_args(args: argparse.Namespace) -> int:
     """Run :func:`run_bench_command` from parsed bench arguments."""
+    if args.profile is not None:
+        return profile_row(
+            args.profile,
+            quick=args.quick,
+            n_requests=args.requests,
+            top=args.profile_top,
+        )
     return run_bench_command(
         quick=args.quick,
         repeats=args.repeats,

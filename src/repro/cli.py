@@ -74,6 +74,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             quick=not args.full,
             n_requests=args.requests,
             seed=args.seed,
+            sim_jobs=args.sim_jobs,
             progress=print,
         )
         report = orchestrator.run(only=only)
@@ -182,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (1 = serial in-process)",
+    )
+    run.add_argument(
+        "--sim-jobs", type=int, default=1,
+        help="per-experiment sweep fan-out processes (effective with "
+             "--jobs 1; see SweepRunner.run_many)",
     )
     run.add_argument(
         "--only", default=None,

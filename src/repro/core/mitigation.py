@@ -20,16 +20,34 @@ The scheme returns aggressor rows that memory-controller-based trackers
 want mitigated; the controller turns those into victim refreshes.
 In-DRAM trackers mitigate under RFM instead and always return nothing
 from the record path.
+
+**Two dispatch surfaces.**  The ``on_activate`` / ``on_row_closed`` /
+``on_rfm`` methods are the readable API used by the security verifier
+and unit tests.  The simulator's controller instead consumes the
+*per-bank kernel lists* built once at construction —
+:meth:`MitigationScheme.act_kernels`, :meth:`~MitigationScheme.close_kernels`
+and :meth:`~MitigationScheme.rfm_kernels` — which bind each bank's
+tracker kernel (see :mod:`repro.trackers.base`) directly, so the per-row
+close path costs one call into flat integer state instead of
+``scheme.on_row_closed -> tracker_for -> record -> quantize`` dynamic
+dispatch.  Both surfaces share tracker state and are pinned equal by
+the golden-sequence and golden-SimResult tests.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..dram.timing import CycleTimings
 from ..trackers.base import Tracker
 from .eact import quantize_eact
+
+#: Activate kernel: ``(row) -> mitigation count`` (None = no ACT work).
+ActKernel = Optional[Callable[[int], int]]
+#: Close kernel: ``(row, act_cycle, close_cycle) -> mitigation count``
+#: (None = nothing to record at row close).
+CloseKernel = Optional[Callable[[int, int, int], int]]
 
 
 class MitigationScheme(abc.ABC):
@@ -44,6 +62,33 @@ class MitigationScheme(abc.ABC):
             raise ValueError("need at least one per-bank tracker")
         self.trackers = list(trackers)
         self.timings = timings
+        self._act_kernels: List[ActKernel] = self._build_act_kernels()
+        self._close_kernels: List[CloseKernel] = self._build_close_kernels()
+        self._rfm_kernels = [tracker.on_rfm for tracker in self.trackers]
+
+    # -- kernel surface (bound per bank, consumed by the controller) ----
+
+    def _build_act_kernels(self) -> List[ActKernel]:
+        """Default: every ACT records one unit into the bank's tracker."""
+        return [tracker.record_unit for tracker in self.trackers]
+
+    def _build_close_kernels(self) -> List[CloseKernel]:
+        """Default: nothing is recorded when a row closes."""
+        return [None] * len(self.trackers)
+
+    def act_kernels(self) -> List[ActKernel]:
+        """Per-bank ``(row) -> count`` activation kernels (None = no-op)."""
+        return self._act_kernels
+
+    def close_kernels(self) -> List[CloseKernel]:
+        """Per-bank ``(row, act, close) -> count`` kernels (None = no-op)."""
+        return self._close_kernels
+
+    def rfm_kernels(self) -> List[Callable[[int], Optional[int]]]:
+        """Per-bank bound ``on_rfm`` methods (skips the tracker lookup)."""
+        return self._rfm_kernels
+
+    # -- readable API (verifier, tests) ---------------------------------
 
     def tracker_for(self, bank: int) -> Tracker:
         """The per-bank tracker instance receiving this bank's records."""
@@ -128,6 +173,35 @@ class ImpressNScheme(MitigationScheme):
 
     name = "impress-n"
 
+    def _build_close_kernels(self) -> List[CloseKernel]:
+        """One window-credit kernel per bank, tRC/tACT folded in."""
+        trc = self.timings.tRC
+        tact = self.timings.tACT
+        kernels: List[CloseKernel] = []
+        for tracker in self.trackers:
+            record_unit = tracker.record_unit
+
+            def kernel(
+                row: int,
+                act_cycle: int,
+                close_cycle: int,
+                record_unit=record_unit,
+                trc=trc,
+                tact=tact,
+            ) -> int:
+                # One credit per full tRC window the row stayed open; a
+                # row is only visible once its activation completes.
+                first_boundary = -(-(act_cycle + tact) // trc)  # ceil div
+                credits = close_cycle // trc - first_boundary
+                fired = 0
+                while credits > 0:
+                    fired += record_unit(row)
+                    credits -= 1
+                return fired
+
+            kernels.append(kernel)
+        return kernels
+
     def on_row_closed(
         self, bank: int, row: int, act_cycle: int, close_cycle: int
     ) -> List[int]:
@@ -166,10 +240,69 @@ class ImpressPScheme(MitigationScheme):
         timings: CycleTimings,
         fraction_bits: int = 7,
     ) -> None:
-        super().__init__(trackers, timings)
         if fraction_bits < 0:
             raise ValueError("fraction_bits must be non-negative")
+        # Set before super().__init__: kernel construction needs it.
         self.fraction_bits = fraction_bits
+        super().__init__(trackers, timings)
+
+    def _build_act_kernels(self) -> List[ActKernel]:
+        """No-op: damage is recorded at close time, once tON is known."""
+        return [None] * len(self.trackers)
+
+    def _build_close_kernels(self) -> List[CloseKernel]:
+        """One EACT kernel per bank.
+
+        When the bank's tracker accepts raw fixed-point weights at the
+        scheme's scale, the kernel quantizes straight to an integer:
+        ``raw = int(eact * scale)``.  That equals
+        ``int(quantize_eact(eact) * scale)`` exactly: ``scale`` is a
+        power of two, so the multiply is a pure exponent shift, and for
+        ``eact >= 1`` the truncation already yields ``raw >= scale`` —
+        ``quantize_eact``'s ``max(..., 1.0)`` leg can never change it.
+        Trackers without a raw kernel (e.g. the accounting tracker)
+        fall back to :func:`quantize_eact` + ``record``.
+        """
+        scale = 1 << self.fraction_bits
+        trc = self.timings.tRC
+        tpre = self.timings.tPRE
+        fraction_bits = self.fraction_bits
+        kernels: List[CloseKernel] = []
+        for tracker in self.trackers:
+            raw_record = tracker.raw_kernel(scale)
+            if raw_record is not None:
+
+                def kernel(
+                    row: int,
+                    act_cycle: int,
+                    close_cycle: int,
+                    raw_record=raw_record,
+                    scale=scale,
+                    trc=trc,
+                    tpre=tpre,
+                ) -> int:
+                    eact = (close_cycle - act_cycle + tpre) / trc
+                    return raw_record(row, int(eact * scale))
+
+            else:
+                record = tracker.record
+
+                def kernel(
+                    row: int,
+                    act_cycle: int,
+                    close_cycle: int,
+                    record=record,
+                    fraction_bits=fraction_bits,
+                    trc=trc,
+                    tpre=tpre,
+                ) -> int:
+                    eact = quantize_eact(
+                        (close_cycle - act_cycle + tpre) / trc, fraction_bits
+                    )
+                    return len(record(row, eact, close_cycle))
+
+            kernels.append(kernel)
+        return kernels
 
     def on_activate(self, bank: int, row: int, cycle: int) -> List[int]:
         """No-op: damage is recorded at close time, once tON is known."""

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import multiprocessing.pool
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..cache import CacheStats
 from ..sim.config import DefenseConfig, SystemConfig
@@ -11,6 +13,52 @@ from ..sim.metrics import geomean, normalized_weighted_speedup
 from ..sim.stats import SimResult
 from ..sim.system import simulate_workload
 from ..workloads.profiles import SPEC_NAMES, STREAM_NAMES
+
+#: One sweep point: ``(workload, defense, tmro_ns)`` — the same triple
+#: that keys the :class:`SweepRunner` cache.
+SweepPoint = Tuple[str, Optional[DefenseConfig], Optional[float]]
+
+#: What callers may pass to :meth:`SweepRunner.run_many`: a bare
+#: workload name, a ``(workload, defense)`` pair, or a full triple.
+SweepPointLike = Union[
+    str,
+    Tuple[str],
+    Tuple[str, Optional[DefenseConfig]],
+    SweepPoint,
+]
+
+
+def _normalize_point(point: SweepPointLike) -> SweepPoint:
+    """Canonicalize a point spec into the cache-key triple."""
+    if isinstance(point, str):
+        return (point, None, None)
+    workload, *rest = point
+    defense = rest[0] if rest else None
+    tmro_ns = rest[1] if len(rest) > 1 else None
+    return (workload, defense, tmro_ns)
+
+
+def _evaluate_point(
+    payload: Tuple[SystemConfig, int, int, SweepPoint]
+) -> Tuple[SweepPoint, SimResult]:
+    """Pool-worker entry: simulate one sweep point.
+
+    Runs in a persistent worker process; the process-local compiled-
+    trace cache (:mod:`repro.workloads.compiled`) persists across the
+    points a worker evaluates, so a sweep's defenses share one compiled
+    trace set per workload exactly as they do in-process.
+    """
+    system, n_requests, seed, point = payload
+    workload, defense, tmro_ns = point
+    result = simulate_workload(
+        workload,
+        defense=defense,
+        system=system,
+        n_requests_per_core=n_requests,
+        tmro_ns=tmro_ns,
+        seed=seed,
+    )
+    return point, result
 
 #: Default request budget per core for experiment-scale runs.  Small
 #: enough for minutes-long sweeps, large enough for stable geomeans.
@@ -60,14 +108,28 @@ class SweepRunner:
     the whole sweep because later figures re-request earlier baselines.
     Long-lived callers (e.g. ``repro bench``) can inspect growth via
     :meth:`cache_stats` and drop everything with :meth:`clear_cache`.
+
+    **Intra-experiment parallelism.**  :meth:`run_many` evaluates a
+    batch of points through a persistent process pool (``jobs`` > 1)
+    and merges the results into the same cache, so a figure can fan its
+    whole grid out before its (unchanged) assembly loops read every
+    point back as cache hits.  Results are bit-identical to serial runs:
+    every simulation is a deterministic function of its point and the
+    runner's fixed (system, n_requests, seed).
     """
 
     system: SystemConfig = field(default_factory=SystemConfig)
     n_requests: int = DEFAULT_REQUESTS
     seed: int = 0
+    #: Worker processes for :meth:`run_many` (1 = serial in-process).
+    jobs: int = 1
     _cache: Dict[tuple, SimResult] = field(default_factory=dict)
     _hits: int = 0
     _misses: int = 0
+    _pool: Optional[multiprocessing.pool.Pool] = field(
+        default=None, repr=False, compare=False
+    )
+    _pool_size: int = field(default=0, repr=False, compare=False)
 
     def run(
         self,
@@ -102,6 +164,72 @@ class SweepRunner:
         result = self.run(workload, defense, tmro_ns)
         reference = self.run(workload, baseline)
         return normalized_weighted_speedup(result, reference)
+
+    def run_many(
+        self,
+        points: Iterable[SweepPointLike],
+        jobs: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Batch-evaluate sweep points; returns results in input order.
+
+        Points already in the cache are served from it (counted as
+        hits); duplicates among the remaining points are computed once.
+        With ``jobs`` > 1 (defaulting to the runner's ``jobs`` field)
+        the uncached points are evaluated across a persistent process
+        pool and merged into the cache, making every later ``run()`` /
+        ``speedup()`` on the same point a hit.  Falls back to serial
+        execution inside daemonic workers (e.g. when an orchestrator
+        pool already owns the process), which cannot fork children.
+        """
+        normalized = [_normalize_point(point) for point in points]
+        needed: List[SweepPoint] = []
+        seen = set()
+        cache = self._cache
+        for key in normalized:
+            if key in cache:
+                self._hits += 1
+            elif key not in seen:
+                seen.add(key)
+                needed.append(key)
+        if jobs is None:
+            jobs = self.jobs
+        if (
+            len(needed) > 1
+            and jobs > 1
+            and not multiprocessing.current_process().daemon
+        ):
+            pool = self._ensure_pool(jobs)
+            payloads = [
+                (self.system, self.n_requests, self.seed, key)
+                for key in needed
+            ]
+            for key, result in pool.imap_unordered(
+                _evaluate_point, payloads
+            ):
+                cache[key] = result
+                self._misses += 1
+        else:
+            for key in needed:
+                self.run(*key)
+        return [cache[key] for key in normalized]
+
+    def _ensure_pool(self, jobs: int) -> multiprocessing.pool.Pool:
+        """The persistent worker pool, (re)built when ``jobs`` changes."""
+        if self._pool is not None and self._pool_size != jobs:
+            self.close_pool()
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=jobs)
+            self._pool_size = jobs
+        return self._pool
+
+    def close_pool(self) -> None:
+        """Shut the persistent pool down (idempotent; pool is rebuilt
+        lazily by the next parallel :meth:`run_many`)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
 
     def cache_stats(self) -> CacheStats:
         """Current hit/miss counters and entry count of the run cache."""

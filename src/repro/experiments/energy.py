@@ -26,6 +26,21 @@ def run(
     plus an ``activation_share`` entry for the unprotected baseline."""
     runner = runner or SweepRunner()
     names = workload_set(quick)
+    # Batch the (tracker x scheme) grid and the unprotected baseline.
+    runner.run_many(
+        [(name, None) for name in names]
+        + [
+            (
+                name,
+                DefenseConfig(
+                    tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
+                ),
+            )
+            for tracker in TRACKERS
+            for scheme in SCHEMES
+            for name in names
+        ]
+    )
     output: Dict[str, Dict[str, float]] = {}
     shares = []
     for name in names:

@@ -26,13 +26,25 @@ def run(
     """{tracker: {scheme: {"demand"|"mitigative": mean relative ACTs}}}."""
     runner = runner or SweepRunner()
     names = workload_set(quick)
+    defenses = {
+        (tracker, scheme): DefenseConfig(
+            tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
+        )
+        for tracker in TRACKERS
+        for scheme in SCHEMES
+    }
+    # Batch the whole (workload x defense) grid plus the shared
+    # unprotected baseline; the loops below only see cache hits.
+    runner.run_many(
+        [(name, None) for name in names]
+        + [(name, defense) for name in names
+           for defense in defenses.values()]
+    )
     output: Dict[str, Dict[str, Dict[str, float]]] = {}
     for tracker in TRACKERS:
         output[tracker] = {}
         for scheme in SCHEMES:
-            defense = DefenseConfig(
-                tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
-            )
+            defense = defenses[tracker, scheme]
             demand_total = 0.0
             mitigative_total = 0.0
             for name in names:

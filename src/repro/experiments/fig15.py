@@ -27,15 +27,27 @@ def run(
     """{tracker: {scheme: {trh: geomean perf vs unprotected}}}."""
     runner = runner or SweepRunner()
     names = workload_set(quick)
+    defenses = {
+        (tracker, scheme, trh): DefenseConfig(
+            tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
+        )
+        for tracker in TRACKERS
+        for scheme in SCHEMES
+        for trh in thresholds
+    }
+    # Fan out the full threshold grid plus the unprotected baseline.
+    runner.run_many(
+        [(name, None) for name in names]
+        + [(name, defense) for name in names
+           for defense in defenses.values()]
+    )
     output: Dict[str, Dict[str, Dict[float, float]]] = {}
     for tracker in TRACKERS:
         output[tracker] = {}
         for scheme in SCHEMES:
             series: Dict[float, float] = {}
             for trh in thresholds:
-                defense = DefenseConfig(
-                    tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
-                )
+                defense = defenses[tracker, scheme, trh]
                 series[trh] = geomean(
                     [runner.speedup(name, defense, None) for name in names]
                 )

@@ -25,27 +25,58 @@ def run(
     """{tracker: {"scheme a=x": {workload/geomean: perf vs No-RP}}}."""
     runner = runner or SweepRunner()
     names = workload_set(quick)
+    # Build each grid config once; the run_many batch and the assembly
+    # loops below share the same objects, so the fan-out and the cache
+    # lookups can never drift apart.
+    baselines = {
+        tracker: DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh)
+        for tracker in MC_TRACKERS
+    }
+    baselines["mint"] = DefenseConfig(
+        tracker="mint", scheme="no-rp", trh=mint_trh
+    )
+    mc_defenses = {
+        (tracker, scheme, alpha): DefenseConfig(
+            tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
+        )
+        for tracker in MC_TRACKERS
+        for scheme in ("express", "impress-n")
+        for alpha in ALPHAS
+    }
+    mint_defenses = {
+        alpha: DefenseConfig(
+            tracker="mint", scheme="impress-n", trh=mint_trh, alpha=alpha
+        )
+        for alpha in ALPHAS
+    }
+    runner.run_many(
+        [
+            (name, defense)
+            for name in names
+            for defense in (
+                list(baselines.values())
+                + list(mc_defenses.values())
+                + list(mint_defenses.values())
+            )
+        ]
+    )
     output: Dict[str, Dict[str, Dict[str, float]]] = {}
     for tracker in MC_TRACKERS:
-        baseline = DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh)
+        baseline = baselines[tracker]
         output[tracker] = {}
         for scheme in ("express", "impress-n"):
             for alpha in ALPHAS:
-                defense = DefenseConfig(
-                    tracker=tracker, scheme=scheme, trh=trh, alpha=alpha
-                )
+                defense = mc_defenses[tracker, scheme, alpha]
                 per = {
                     name: runner.speedup(name, defense, baseline)
                     for name in names
                 }
                 label = f"{scheme} a={alpha}"
                 output[tracker][label] = category_geomeans(per, names)
-    baseline = DefenseConfig(tracker="mint", scheme="no-rp", trh=mint_trh)
+    baseline = baselines["mint"]
     output["mint"] = {}
     for alpha in ALPHAS:
-        defense = DefenseConfig(
-            tracker="mint", scheme="impress-n", trh=mint_trh, alpha=alpha
-        )
+        defense = mint_defenses[alpha]
         rfmth = defense.effective_rfmth()
         per = {
             name: runner.speedup(name, defense, baseline) for name in names

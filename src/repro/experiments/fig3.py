@@ -22,6 +22,12 @@ def run(
     """Returns {tmro_ns: {workload or geomean row: normalized perf}}."""
     runner = runner or SweepRunner()
     names = workload_set(quick)
+    # Fan out every (workload, tmro) point plus the shared unlimited
+    # baseline each speedup() divides by.
+    runner.run_many(
+        [(name, None, None) for name in names]
+        + [(name, None, tmro) for tmro in tmros_ns for name in names]
+    )
     series: Dict[float, Dict[str, float]] = {}
     for tmro in tmros_ns:
         per_workload = {

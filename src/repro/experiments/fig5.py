@@ -28,9 +28,40 @@ def run(
     """{tracker: {"SPEC"|"STREAM": {tmro or inf(no-tMRO): geomean perf}}}."""
     runner = runner or SweepRunner()
     names = workload_set(quick)
+    # Build each grid config once; the batch list and the assembly loop
+    # below share the same objects, so the fan-out and the cache lookups
+    # can never drift apart.
+    baselines = {
+        tracker: DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh)
+        for tracker in TRACKERS
+    }
+    defenses = {
+        (tracker, tmro): DefenseConfig(
+            tracker=tracker,
+            scheme="express",
+            trh=trh,
+            tmro_ns=tmro,
+            target_scale=express_relative_threshold_measured(tmro),
+        )
+        for tracker in TRACKERS
+        for tmro in tmros_ns
+    }
+    runner.run_many(
+        [
+            (name, baseline, None)
+            for name in names
+            for baseline in baselines.values()
+        ]
+        + [
+            (name, defenses[tracker, tmro], tmro)
+            for name in names
+            for tracker in TRACKERS
+            for tmro in tmros_ns
+        ]
+    )
     output: Dict[str, Dict[str, Dict[float, float]]] = {}
     for tracker in TRACKERS:
-        baseline = DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh)
+        baseline = baselines[tracker]
         spec_series: Dict[float, float] = {}
         stream_series: Dict[float, float] = {}
         points = list(tmros_ns) + [float("inf")]
@@ -39,13 +70,7 @@ def run(
                 defense = baseline
                 tmro_arg = None
             else:
-                defense = DefenseConfig(
-                    tracker=tracker,
-                    scheme="express",
-                    trh=trh,
-                    tmro_ns=tmro,
-                    target_scale=express_relative_threshold_measured(tmro),
-                )
+                defense = defenses[tracker, tmro]
                 tmro_arg = tmro
             per = {
                 name: runner.speedup(name, defense, baseline, tmro_ns=tmro_arg)

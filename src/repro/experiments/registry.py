@@ -66,6 +66,13 @@ class RunContext:
     quick: bool = True
     n_requests: int = DEFAULT_REQUESTS
     seed: int = 0
+    #: Worker processes for intra-experiment sweep fan-out
+    #: (:meth:`~repro.experiments.common.SweepRunner.run_many`).  Not
+    #: part of :meth:`options` — parallelism never changes results, so
+    #: it must not change cache keys; it is also dropped on pickling
+    #: because orchestrator pool workers are daemonic and cannot fork
+    #: their own sweep pools.
+    sim_jobs: int = 1
     _runner: Optional[SweepRunner] = field(
         default=None, repr=False, compare=False
     )
@@ -74,7 +81,9 @@ class RunContext:
         """The shared (lazily created) simulation sweep runner."""
         if self._runner is None:
             self._runner = SweepRunner(
-                n_requests=self.n_requests, seed=self.seed
+                n_requests=self.n_requests,
+                seed=self.seed,
+                jobs=self.sim_jobs,
             )
         return self._runner
 
@@ -94,6 +103,8 @@ class RunContext:
         for key, value in state.items():
             if key in allowed:
                 setattr(self, key, value)
+        # Worker-side fan-out stays serial: pool workers are daemonic.
+        self.sim_jobs = 1
         self._runner = None
 
 

@@ -18,12 +18,21 @@ Scheduling priority per bank (Section III and the baseline of Table II):
 
 Every row closure is reported to the mitigation scheme, which is how
 ImPress-N earns its window credits and ImPress-P its EACT records.
+
+**Hot-path engineering** (see ``docs/performance.md``): the scheme's
+per-bank activate/close/RFM kernels are hoisted into flat lists at
+construction, so the service path never goes through
+``scheme.on_row_closed -> tracker_for -> record`` dynamic dispatch; the
+timing fields used per step are cached as plain ints; and ``service`` /
+``_serve_demand`` read each per-bank object exactly once into locals.
+Scheduling decisions are unchanged — ``tests/test_sim_golden.py`` pins
+the pre-refactor results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence
 
 from ..core.mitigation import MitigationScheme
 from ..dram.bank import Bank
@@ -54,7 +63,7 @@ class ServiceResult:
     """What a service step did and when the bank needs attention next."""
 
     next_wake: Optional[int] = None
-    completions: List[Completion] = field(default_factory=list)
+    completions: Sequence[Completion] = ()
     worked: bool = False
 
 
@@ -112,6 +121,19 @@ class ChannelController:
         self.row_conflicts = 0
         self.rfm_mitigations = 0
         self.tmro_closures = 0
+        # Hot-path caches: the scheme's per-bank kernels (no per-step
+        # scheme/tracker indirection) and the timing fields the service
+        # loop touches, as plain ints.
+        self._act_kernels = list(scheme.act_kernels())
+        self._close_kernels = list(scheme.close_kernels())
+        self._rfm_kernels = list(scheme.rfm_kernels())
+        self._tPRE = timings.tPRE
+        self._tRC = timings.tRC
+        self._tRCD = timings.tRCD
+        self._tCCD = timings.tCCD
+        self._tCAS = timings.tCAS
+        self._tRAS = timings.tRAS
+        self._tRFM = timings.tRFM
 
     # -- demand arrival ------------------------------------------------
 
@@ -130,60 +152,82 @@ class ChannelController:
     # -- helpers ---------------------------------------------------------
 
     def _close_row(self, bank_id: int, cycle: int) -> int:
-        """Precharge the open row; feeds the scheme.  Returns PRE cycle."""
+        """Precharge the open row; feeds the scheme.  Returns PRE cycle.
+
+        The precharge arithmetic is inlined (``Bank.precharge`` minus the
+        timing assertions — the controller computes ``pre_cycle`` from
+        ``earliest_pre`` itself, so the checks cannot fire); observer
+        hooks still run when a device/test registered any.
+        """
         bank = self.banks[bank_id]
         book = self.state[bank_id]
-        pre_cycle = max(cycle, bank.earliest_pre())
+        ready = bank._ready_pre
+        pre_cycle = cycle if cycle >= ready else ready
         row = bank.open_row
-        bank.precharge(pre_cycle)
+        bank.open_row = None
+        ready_act = pre_cycle + self._tPRE
+        if ready_act > bank._ready_act:
+            bank._ready_act = ready_act
+        if bank._close_hooks is not None:
+            open_cycles = pre_cycle - bank.act_cycle
+            for hook in bank._close_hooks:
+                hook(row, open_cycles, open_cycles + self._tPRE)
         self.counts.precharges += 1
-        mitigations = self.scheme.on_row_closed(
-            bank_id, row, book.act_cycle, pre_cycle
-        )
-        book.pending_mitigations += len(mitigations)
+        close_kernel = self._close_kernels[bank_id]
+        if close_kernel is not None:
+            book.pending_mitigations += close_kernel(
+                row, book.act_cycle, pre_cycle
+            )
         return pre_cycle
 
     def _activate(self, bank_id: int, row: int, cycle: int,
                   mitigative: bool = False) -> int:
+        """ACT ``row``; inlined ``Bank.activate`` (same assertion caveat)."""
         bank = self.banks[bank_id]
         book = self.state[bank_id]
-        act_cycle = max(cycle, bank.earliest_act())
-        bank.activate(row, act_cycle)
+        ready = bank._ready_act
+        act_cycle = cycle if cycle >= ready else ready
+        bank.open_row = row
+        bank.act_cycle = act_cycle
+        bank._ready_pre = act_cycle + self._tRAS
+        bank._ready_col = act_cycle + self._tRCD
+        bank._ready_act = act_cycle + self._tRC
+        if bank._activate_hooks is not None:
+            for hook in bank._activate_hooks:
+                hook(row, act_cycle)
         book.act_cycle = act_cycle
         book.acts_since_rfm += 1
         if mitigative:
             self.counts.mitigative_acts += 1
         else:
             self.counts.demand_acts += 1
-            mitigations = self.scheme.on_activate(bank_id, row, act_cycle)
-            book.pending_mitigations += len(mitigations)
+            act_kernel = self._act_kernels[bank_id]
+            if act_kernel is not None:
+                book.pending_mitigations += act_kernel(row)
         return act_cycle
-
-    def _tmro_expired(self, bank_id: int, cycle: int) -> bool:
-        bank = self.banks[bank_id]
-        book = self.state[bank_id]
-        return (
-            self.tmro_cycles is not None
-            and bank.is_open
-            and cycle - book.act_cycle >= self.tmro_cycles
-        )
 
     # -- the scheduling step ---------------------------------------------
 
     def service(self, bank_id: int, cycle: int) -> ServiceResult:
         """Do one piece of work on the bank at ``cycle``."""
         book = self.state[bank_id]
+        busy_until = book.busy_until
+        if busy_until > cycle:
+            return ServiceResult(next_wake=busy_until)
         bank = self.banks[bank_id]
-        if book.busy_until > cycle:
-            return ServiceResult(next_wake=book.busy_until)
+        tpre = self._tPRE
 
-        # 1. Refresh.
+        # 1. Refresh.  (The fast `_next_due` pre-check short-circuits
+        # the common not-yet-due case; `due()` keeps the postponement
+        # semantics for schedulers that enable it.)
         refresh = self.refresh[bank_id]
-        if refresh.due(cycle):
+        if cycle >= refresh._next_due and refresh.due(cycle):
             start = cycle
-            if bank.is_open:
-                start = self._close_row(bank_id, cycle) + self.timings.tPRE
-            start = max(start, bank.earliest_act())
+            if bank.open_row is not None:
+                start = self._close_row(bank_id, cycle) + tpre
+            ready = bank.earliest_act()
+            if start < ready:
+                start = ready
             done = bank.refresh(start)
             refresh.issue(start)
             self.counts.refreshes += 1
@@ -193,16 +237,19 @@ class ChannelController:
         # 2. RFM (in-DRAM tracker configurations).
         if self.use_rfm and book.acts_since_rfm >= self.rfmth:
             start = cycle
-            if bank.is_open:
-                start = self._close_row(bank_id, cycle) + self.timings.tPRE
-            start = max(start, bank.earliest_act())
-            done = start + self.timings.tRFM
+            if bank.open_row is not None:
+                start = self._close_row(bank_id, cycle) + tpre
+            ready = bank.earliest_act()
+            if start < ready:
+                start = ready
+            done = start + self._tRFM
             # RFM blocks the bank; in-DRAM mitigation happens within it.
             bank_rfm_done = bank.rfm(start)
-            done = max(done, bank_rfm_done)
+            if bank_rfm_done > done:
+                done = bank_rfm_done
             book.acts_since_rfm = 0
             self.counts.rfms += 1
-            if self.scheme.on_rfm(bank_id, start) is not None:
+            if self._rfm_kernels[bank_id](start) is not None:
                 self.rfm_mitigations += 1
             book.busy_until = done
             return ServiceResult(next_wake=done, worked=True)
@@ -210,12 +257,14 @@ class ChannelController:
         # 3. Mitigative victim refreshes (MC-based trackers).
         if book.pending_mitigations > 0:
             start = cycle
-            if bank.is_open:
-                start = self._close_row(bank_id, cycle) + self.timings.tPRE
-            start = max(start, bank.earliest_act())
+            if bank.open_row is not None:
+                start = self._close_row(bank_id, cycle) + tpre
+            ready = bank.earliest_act()
+            if start < ready:
+                start = ready
             # Four victims, each ACT + PRE back to back (one tRC apiece);
             # modeled as a block without opening a demand-visible row.
-            done = start + VICTIMS_PER_MITIGATION * self.timings.tRC
+            done = start + VICTIMS_PER_MITIGATION * self._tRC
             self.counts.mitigative_acts += VICTIMS_PER_MITIGATION
             self.counts.precharges += VICTIMS_PER_MITIGATION
             book.pending_mitigations -= 1
@@ -225,118 +274,142 @@ class ChannelController:
             return ServiceResult(next_wake=done, worked=True)
 
         # 4. tMRO expiry (ExPress / tMRO sweeps).
-        if self._tmro_expired(bank_id, cycle):
+        tmro = self.tmro_cycles
+        bank_open = bank.open_row is not None
+        if (
+            tmro is not None
+            and bank_open
+            and cycle - book.act_cycle >= tmro
+        ):
             pre_cycle = self._close_row(bank_id, cycle)
             self.tmro_closures += 1
-            book.busy_until = pre_cycle + self.timings.tPRE
+            book.busy_until = pre_cycle + tpre
             return ServiceResult(next_wake=book.busy_until, worked=True)
 
         # 5. Demand requests, hits first.
-        result = self._serve_demand(bank_id, cycle)
-        if result is not None:
-            return result
+        if book.queue:
+            return self._serve_demand(bank_id, cycle, book, bank)
 
         # 6. Idle precharge: close a row nobody is hitting.
+        idle_close = self.idle_close_cycles
         if (
-            self.idle_close_cycles is not None
-            and bank.is_open
+            idle_close is not None
+            and bank_open
             and not book.queue
-            and cycle - book.last_use >= self.idle_close_cycles
+            and cycle - book.last_use >= idle_close
         ):
             pre_cycle = self._close_row(bank_id, cycle)
-            book.busy_until = pre_cycle + self.timings.tPRE
+            book.busy_until = pre_cycle + tpre
             return ServiceResult(next_wake=book.busy_until, worked=True)
 
         # Nothing to do: wake for refresh, tMRO expiry or idle close.
-        wake = refresh.next_due
-        if bank.is_open:
-            if self.tmro_cycles is not None:
-                wake = min(wake, book.act_cycle + self.tmro_cycles)
-            if self.idle_close_cycles is not None and not book.queue:
-                wake = min(wake, book.last_use + self.idle_close_cycles)
+        wake = refresh._next_due
+        if bank_open:
+            if tmro is not None:
+                tmro_wake = book.act_cycle + tmro
+                if tmro_wake < wake:
+                    wake = tmro_wake
+            if idle_close is not None and not book.queue:
+                idle_wake = book.last_use + idle_close
+                if idle_wake < wake:
+                    wake = idle_wake
         return ServiceResult(next_wake=wake)
 
     def _serve_demand(
-        self, bank_id: int, cycle: int
-    ) -> Optional[ServiceResult]:
-        book = self.state[bank_id]
-        bank = self.banks[bank_id]
-        if not book.queue:
-            return None
+        self,
+        bank_id: int,
+        cycle: int,
+        book: BankBookkeeping,
+        bank: Bank,
+    ) -> ServiceResult:
+        """Serve one demand request; the caller guarantees a non-empty
+        queue and passes the bank state it already fetched."""
+        queue = book.queue
+        counts = self.counts
+        tccd = self._tCCD
         request: Optional[InFlightRequest] = None
         open_row = bank.open_row
         if open_row is not None:
-            for queued in book.queue:
+            for queued in queue:
                 if queued.row == open_row:
                     request = queued
                     break
         if request is not None:
-            # Row hit: column access only.
+            # Row hit: column access only (inlined Bank.column_access).
             self.row_hits += 1
-            book.queue.remove(request)
-            col_cycle = max(cycle, bank.earliest_col())
-            data_cycle = bank.column_access(col_cycle)
-            self._count_column(request)
-            book.busy_until = col_cycle + self.timings.tCCD
-            book.last_use = col_cycle
+            queue.remove(request)
+            ready = bank._ready_col
+            col_cycle = cycle if cycle >= ready else ready
+            bank._ready_col = col_cycle + tccd
+            data_cycle = col_cycle + self._tCAS
             book.columns_since_act += 1
-            self._maybe_mop_close(bank_id, col_cycle)
-            done_cycle = col_cycle if request.is_write else data_cycle
-            return ServiceResult(
-                next_wake=book.busy_until,
-                completions=[
-                    Completion(done_cycle, request.core_id, request.is_write)
-                ],
-                worked=True,
-            )
-        # Oldest request: conflict (open other row) or miss (closed).
-        request = book.queue.pop(0)
-        start = cycle
-        if bank.is_open:
-            self.row_conflicts += 1
-            start = self._close_row(bank_id, cycle) + self.timings.tPRE
         else:
-            self.row_misses += 1
-        act_cycle = self._activate(bank_id, request.row, start)
-        col_cycle = max(act_cycle + self.timings.tRCD, bank.earliest_col())
-        data_cycle = bank.column_access(col_cycle)
-        self._count_column(request)
-        book.busy_until = col_cycle + self.timings.tCCD
+            # Oldest request: conflict (open other row) or miss (closed).
+            request = queue.pop(0)
+            start = cycle
+            if open_row is not None:
+                self.row_conflicts += 1
+                start = self._close_row(bank_id, cycle) + self._tPRE
+            else:
+                self.row_misses += 1
+            act_cycle = self._activate(bank_id, request.row, start)
+            col_cycle = act_cycle + self._tRCD
+            bank_col = bank._ready_col
+            if col_cycle < bank_col:
+                col_cycle = bank_col
+            bank._ready_col = col_cycle + tccd
+            data_cycle = col_cycle + self._tCAS
+            book.columns_since_act = 1
+        if request.is_write:
+            counts.writes += 1
+        else:
+            counts.reads += 1
+        busy_until = col_cycle + tccd
+        book.busy_until = busy_until
         book.last_use = col_cycle
-        book.columns_since_act = 1
-        self._maybe_mop_close(bank_id, col_cycle)
+        # MOP auto-precharge once the row-group burst is exhausted
+        # (inlined _maybe_mop_close).
+        mop = self.mop_burst_lines
+        if (
+            mop is not None
+            and bank.open_row is not None
+            and book.columns_since_act >= mop
+        ):
+            pre_ready = self._close_row(bank_id, col_cycle) + self._tPRE
+            if pre_ready > busy_until:
+                busy_until = pre_ready
+                book.busy_until = busy_until
+        # When nothing else is pending on this bank, skip the busy_until
+        # no-op wakeup: report the real next deadline (refresh / tMRO /
+        # idle close), clamped to busy_until so no work happens earlier
+        # than it would have.  This removes one service round-trip per
+        # request without moving any command to a different cycle.
+        wake = busy_until
+        if not queue and book.pending_mitigations == 0 and not (
+            self.use_rfm and book.acts_since_rfm >= self.rfmth
+        ):
+            deadline = self.refresh[bank_id]._next_due
+            if bank.open_row is not None:
+                tmro = self.tmro_cycles
+                if tmro is not None:
+                    tmro_wake = book.act_cycle + tmro
+                    if tmro_wake < deadline:
+                        deadline = tmro_wake
+                idle_close = self.idle_close_cycles
+                if idle_close is not None:
+                    idle_wake = book.last_use + idle_close
+                    if idle_wake < deadline:
+                        deadline = idle_wake
+            if deadline > wake:
+                wake = deadline
         done_cycle = col_cycle if request.is_write else data_cycle
         return ServiceResult(
-            next_wake=book.busy_until,
+            next_wake=wake,
             completions=[
                 Completion(done_cycle, request.core_id, request.is_write)
             ],
             worked=True,
         )
-
-    def _maybe_mop_close(self, bank_id: int, col_cycle: int) -> None:
-        """MOP auto-precharge once the row-group burst is exhausted.
-
-        Only the configured number of consecutive lines map to the row,
-        so the controller closes it as soon as they have all been served
-        (Minimalist Open Page, Table II).
-        """
-        book = self.state[bank_id]
-        if (
-            self.mop_burst_lines is not None
-            and self.banks[bank_id].is_open
-            and book.columns_since_act >= self.mop_burst_lines
-        ):
-            pre_cycle = self._close_row(bank_id, col_cycle)
-            book.busy_until = max(
-                book.busy_until, pre_cycle + self.timings.tPRE
-            )
-
-    def _count_column(self, request: InFlightRequest) -> None:
-        if request.is_write:
-            self.counts.writes += 1
-        else:
-            self.counts.reads += 1
 
     # -- wrap-up -----------------------------------------------------------
 

@@ -24,17 +24,28 @@ from ..core.mitigation import (
 from ..dram.address import MopAddressMapper
 from ..dram.timing import CycleTimings, default_cycle_timings
 from ..trackers.base import AccountingTracker, Tracker
+from ..trackers.dsac import DsacLikeTracker
 from ..trackers.graphene import GrapheneTracker
 from ..trackers.mint import MintTracker
 from ..trackers.mithril import MithrilTracker
 from ..trackers.para import ParaTracker, para_probability
+from ..trackers.prac import PracTracker
 from ..trackers.sizing import (
     graphene_entries,
     graphene_internal_threshold,
     mithril_entries,
 )
 
-TRACKER_NAMES = ("none", "graphene", "para", "mithril", "mint")
+TRACKER_NAMES = (
+    "none", "graphene", "para", "mithril", "mint", "prac", "dsac"
+)
+
+#: Row-address space for simulator-built PRAC trackers.  The synthetic
+#: workloads map addresses over a much larger row space than one
+#: physical bank, so the per-row counter array is sized to cover it; a
+#: concrete DDR5 deployment would use
+#: :data:`repro.trackers.prac.DEFAULT_ROWS_PER_BANK`.
+PRAC_SIM_ROWS_PER_BANK = 1 << 26
 SCHEME_NAMES = ("no-rp", "express", "impress-n", "impress-p")
 
 #: ExPress's default tMRO in the paper's scheme comparisons: tRAS + tRC
@@ -121,6 +132,12 @@ class DefenseConfig:
 
     @property
     def uses_rfm(self) -> bool:
+        """Trackers the controller must drive with RFM commands.
+
+        DSAC is in-DRAM storage-wise, but in this model it mitigates
+        synchronously from its record path (like PRAC's ABO flow), so
+        neither needs RFM scheduling.
+        """
         return self.tracker in ("mithril", "mint")
 
     @property
@@ -174,6 +191,25 @@ class DefenseConfig:
                 rfmth=self.effective_rfmth(),
                 fraction_bits=bits,
                 rng=random.Random(bank_seed),
+            )
+        if self.tracker == "prac":
+            # Alert at half the provisioning target: the ABO flow needs
+            # headroom for back-off latency and the blast-radius victims
+            # (Section VI-F), mirroring Graphene's internal-threshold
+            # margin.
+            return PracTracker(
+                alert_threshold=self.target_threshold / 2.0,
+                rows_per_bank=PRAC_SIM_ROWS_PER_BANK,
+                fraction_bits=bits,
+            )
+        if self.tracker == "dsac":
+            # DSAC keeps a Graphene-shaped counter table but re-weighs
+            # activations logarithmically (Section VII); provisioned
+            # like Graphene so the comparison isolates the weighting.
+            target = self.target_threshold
+            return DsacLikeTracker(
+                entries=graphene_entries(target),
+                mitigation_threshold=graphene_internal_threshold(target),
             )
         raise AssertionError("unreachable")
 

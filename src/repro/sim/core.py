@@ -9,7 +9,7 @@ arrival structure the trace encodes, not on in-core microarchitecture.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..workloads.trace import Trace
@@ -27,30 +27,35 @@ class CoreState:
     retired: int = 0
     stalled_on_mlp: bool = False
     finish_cycle: Optional[int] = None
+    #: Cached ``len(trace)`` — the retire path runs once per request and
+    #: must not pay a ``__len__`` dispatch each time.
+    trace_length: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.mlp < 1:
             raise ValueError("mlp must be positive")
+        self.trace_length = len(self.trace)
 
     @property
     def exhausted(self) -> bool:
-        return self.index >= len(self.trace)
+        return self.index >= self.trace_length
 
     @property
     def done(self) -> bool:
-        return self.exhausted and self.outstanding == 0
+        return self.index >= self.trace_length and self.outstanding == 0
 
     def can_issue(self) -> bool:
-        return not self.exhausted and self.outstanding < self.mlp
+        return self.index < self.trace_length and self.outstanding < self.mlp
 
     def issue(self) -> None:
         self.index += 1
         self.outstanding += 1
 
     def retire(self, cycle: int) -> None:
-        if self.outstanding <= 0:
+        outstanding = self.outstanding - 1
+        if outstanding < 0:
             raise RuntimeError("retire with no outstanding request")
-        self.outstanding -= 1
+        self.outstanding = outstanding
         self.retired += 1
-        if self.done:
+        if outstanding == 0 and self.index >= self.trace_length:
             self.finish_cycle = cycle

@@ -41,7 +41,7 @@ from typing import List, Optional, Sequence
 
 from ..core.mitigation import MitigationScheme
 from ..dram.commands import CommandCounts
-from ..memctrl.controller import ChannelController
+from ..memctrl.controller import BANK_QUEUE_CAPACITY, ChannelController
 from ..memctrl.request import InFlightRequest
 from ..workloads.compiled import CompiledTrace, compile_traces, mapper_key
 from ..workloads.trace import Trace
@@ -141,6 +141,19 @@ class SystemSimulator:
         self._now = 0
         #: Cycle of each bank's single live heap entry, -1 when none.
         self._bank_wake: List[int] = [-1] * total_banks
+        # Flat-bank dispatch tables: the event loop indexes a bound
+        # ``service`` method and a local bank id instead of doing a
+        # div/mod + controller lookup per bank event.
+        per = system.banks_per_channel
+        self._service_fns = [
+            self.controllers[flat // per].service for flat in range(total_banks)
+        ]
+        self._local_banks = [flat % per for flat in range(total_banks)]
+        #: Per-channel bank bookkeeping lists for direct queue access on
+        #: the issue path (skips can_accept/enqueue re-validation).
+        self._chan_states = [
+            controller.state for controller in self.controllers
+        ]
 
     # -- core issue logic -------------------------------------------------
 
@@ -154,7 +167,7 @@ class SystemSimulator:
         writes = compiled.is_write
         gaps = compiled.gaps
         length = compiled.length
-        controllers = self.controllers
+        chan_states = self._chan_states
         heap = self._heap
         push = heapq.heappush
         bank_wake = self._bank_wake
@@ -163,8 +176,12 @@ class SystemSimulator:
         while core.index < length and core.outstanding < mlp:
             index = core.index
             bank = banks[index]
-            controller = controllers[channels[index]]
-            if not controller.can_accept(bank):
+            channel = channels[index]
+            # Direct queue access: the capacity check here is the same
+            # one can_accept/enqueue would repeat.
+            book = chan_states[channel][bank]
+            queue = book.queue
+            if len(queue) >= BANK_QUEUE_CAPACITY:
                 self._seq += 1
                 push(
                     heap,
@@ -172,25 +189,31 @@ class SystemSimulator:
                      << _LOW_BITS) | _CORE_TAG | core_id,
                 )
                 return
-            controller.enqueue(
+            queue.append(
                 InFlightRequest(
                     core_id=core_id,
                     is_write=writes[index],
                     enqueue_cycle=cycle,
-                    channel=channels[index],
+                    channel=channel,
                     bank=bank,
                     row=rows[index],
                     column=columns[index],
                 )
             )
+            # Wake the bank when it can actually serve: an arrival at a
+            # busy bank would only get a busy-return from service(), so
+            # schedule straight for busy_until instead of polling now.
+            wake_at = book.busy_until
+            if wake_at < cycle:
+                wake_at = cycle
             flat = flats[index]
             wake = bank_wake[flat]
-            if wake < 0 or cycle < wake:
-                bank_wake[flat] = cycle
+            if wake < 0 or wake_at < wake:
+                bank_wake[flat] = wake_at
                 self._seq += 1
                 push(
                     heap,
-                    ((cycle << _SEQ_BITS | self._seq) << _LOW_BITS)
+                    ((wake_at << _SEQ_BITS | self._seq) << _LOW_BITS)
                     | _BANK_TAG | flat,
                 )
             core.index = index + 1
@@ -221,7 +244,8 @@ class SystemSimulator:
         controllers = self.controllers
         compiled = self._compiled
         bank_wake = self._bank_wake
-        per_channel = self.system.banks_per_channel
+        service_fns = self._service_fns
+        local_banks = self._local_banks
         extra = self.system.extra_latency_cycles
         for core in cores:
             if len(core.trace) == 0:
@@ -250,9 +274,7 @@ class SystemSimulator:
                 if bank_wake[payload] != cycle:
                     continue    # superseded by an earlier wakeup
                 bank_wake[payload] = -1
-                result = controllers[payload // per_channel].service(
-                    payload % per_channel, cycle
-                )
+                result = service_fns[payload](local_banks[payload], cycle)
                 completions = result.completions
                 if completions:
                     for completion in completions:

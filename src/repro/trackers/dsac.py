@@ -14,9 +14,11 @@ threshold collapse the paper predicts.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
-from .base import Tracker
+from .base import RawRecordKernel, Tracker
+
+_log2 = math.log2
 
 
 def dsac_weight(ton_trc: float) -> float:
@@ -27,7 +29,7 @@ def dsac_weight(ton_trc: float) -> float:
     """
     if ton_trc < 1.0:
         raise ValueError("tON cannot be below one tRC")
-    return 1.0 + math.log2(ton_trc) * (7.0 / 8.0)
+    return 1.0 + _log2(ton_trc) * (7.0 / 8.0)
 
 
 def impress_weight(ton_trc: float, alpha: float = 0.48) -> float:
@@ -51,9 +53,17 @@ class DsacLikeTracker(Tracker):
     DSAC properties the paper criticizes are modeled: newly-installed
     rows always start at weight 1 (Row-Press on insertion is ignored),
     and counters are integer-valued.
+
+    The table is a plain int dict; eviction keeps the original
+    first-minimum (insertion-order tie-break) semantics.  The kernel
+    surface (:meth:`record_unit` / :meth:`raw_kernel`) runs the same
+    update without per-call list allocation — a unit activation's DSAC
+    weight is exactly 1, so ``record_unit`` skips the logarithm.
     """
 
     in_dram = True
+
+    __slots__ = ("entries", "mitigation_threshold", "_table", "mitigations")
 
     def __init__(self, entries: int, mitigation_threshold: float) -> None:
         if entries < 1:
@@ -72,20 +82,64 @@ class DsacLikeTracker(Tracker):
         tracker re-weighs it with :func:`dsac_weight`, reproducing the
         underestimation the paper's Section VII critique exploits.
         """
-        ton_trc = max(1.0, weight)
-        if row in self._table:
-            self._table[row] += int(dsac_weight(ton_trc))
-        elif len(self._table) < self.entries:
-            self._table[row] = 1  # problem 2: installation weight is 1
+        ton_trc = weight if weight > 1.0 else 1.0
+        return [row] if self._kernel_ton(row, ton_trc) else []
+
+    def record_unit(self, row: int) -> int:
+        """Kernel surface: unit ACT; dsac_weight(1) is exactly 1."""
+        table = self._table
+        count = table.get(row)
+        if count is not None:
+            count += 1
+            table[row] = count
+        elif len(table) < self.entries:
+            count = 1
+            table[row] = 1
         else:
-            victim = min(self._table, key=self._table.__getitem__)
-            del self._table[victim]
-            self._table[row] = 1
-        if self._table[row] >= self.mitigation_threshold:
-            self._table[row] = 0
+            victim = min(table, key=table.__getitem__)
+            del table[victim]
+            count = 1
+            table[row] = 1
+        if count >= self.mitigation_threshold:
+            table[row] = 0
             self.mitigations += 1
-            return [row]
-        return []
+            return 1
+        return 0
+
+    def raw_kernel(self, scale: int) -> Optional[RawRecordKernel]:
+        """Kernel taking the open time as a raw ``1/scale`` fixed-point.
+
+        Any power-of-two scale works: the kernel reconstructs the exact
+        float open time (``raw / scale`` is exact) before re-weighing.
+        """
+        kernel_ton = self._kernel_ton
+
+        def _kernel(row: int, raw: int) -> int:
+            ton_trc = raw / scale
+            return kernel_ton(row, ton_trc if ton_trc > 1.0 else 1.0)
+
+        return _kernel
+
+    def _kernel_ton(self, row: int, ton_trc: float) -> int:
+        """DSAC update for an access open ``ton_trc`` (>= 1) tRC units."""
+        table = self._table
+        count = table.get(row)
+        if count is not None:
+            count += int(1.0 + _log2(ton_trc) * (7.0 / 8.0))
+            table[row] = count
+        elif len(table) < self.entries:
+            count = 1  # problem 2: installation weight is 1
+            table[row] = 1
+        else:
+            victim = min(table, key=table.__getitem__)
+            del table[victim]
+            count = 1
+            table[row] = 1
+        if count >= self.mitigation_threshold:
+            table[row] = 0
+            self.mitigations += 1
+            return 1
+        return 0
 
     def count_for(self, row: int) -> float:
         """Integer weight DSAC has accumulated for ``row``."""

@@ -10,14 +10,28 @@ threshold (Section III-B of the ImPress paper).
 
 For ImPress-P the counters carry fractional EACT bits: ``record`` accepts
 non-integer weights and the counters accumulate them in fixed point.
+
+**Kernel engineering.**  The per-activation path is an integer kernel:
+the table maps row -> raw fixed-point count, and the lazy eviction heap
+holds ``(count << 32) | row`` packed ints instead of tuples — packed
+ordering equals tuple ordering (count first, row tie-break) because rows
+are below 2**32, so heap behavior is bit-identical to the original
+tuple heap while each push allocates no container.  ``record`` is the
+validated float API; :meth:`record_unit`/:meth:`raw_kernel` expose the
+same kernel to the mitigation schemes without per-call list building.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Tuple
+from heapq import heappop, heappush
+from typing import Dict, List, Optional
 
-from .base import Tracker
+from .base import RawRecordKernel, Tracker
+
+#: Rows are packed into the low bits of heap entries; row ids must stay
+#: below this for packed ordering to equal (count, row) tuple ordering.
+_ROW_BITS = 32
+_ROW_MASK = (1 << _ROW_BITS) - 1
 
 
 class GrapheneTracker(Tracker):
@@ -37,6 +51,17 @@ class GrapheneTracker(Tracker):
 
     in_dram = False
 
+    __slots__ = (
+        "entries",
+        "fraction_bits",
+        "_scale",
+        "_threshold_raw",
+        "_table",
+        "_spill",
+        "_heap",
+        "mitigations",
+    )
+
     def __init__(
         self,
         entries: int,
@@ -55,9 +80,10 @@ class GrapheneTracker(Tracker):
         self._threshold_raw = int(internal_threshold * self._scale)
         self._table: Dict[int, int] = {}
         self._spill = 0
-        # Lazy min-heap of (count_at_push, row); stale entries are
-        # discarded on pop.  Keeps eviction O(log n) amortized.
-        self._heap: List[Tuple[int, int]] = []
+        # Lazy min-heap of (count_at_push << 32) | row packed ints;
+        # stale entries are discarded on pop.  Keeps eviction O(log n)
+        # amortized with no per-push tuple.
+        self._heap: List[int] = []
         self.mitigations = 0
 
     @property
@@ -79,12 +105,6 @@ class GrapheneTracker(Tracker):
         """Tracked (E)ACT count of ``row`` (0 when untracked)."""
         return self._table.get(row, 0) / self._scale
 
-    def _quantize(self, weight: float) -> int:
-        raw = int(weight * self._scale)
-        if raw < 0:
-            raise ValueError("weight must be non-negative")
-        return raw
-
     def record(self, row: int, weight: float = 1.0, cycle: int = 0) -> List[int]:
         """Credit ``weight`` (E)ACTs to ``row`` (Misra-Gries update).
 
@@ -93,46 +113,70 @@ class GrapheneTracker(Tracker):
         Returns ``[row]`` when the internal threshold is crossed and a
         victim refresh must be issued.
         """
-        raw = self._quantize(weight)
+        raw = int(weight * self._scale)
+        if raw < 0:
+            raise ValueError("weight must be non-negative")
+        return [row] if self._kernel(row, raw) else []
+
+    def record_unit(self, row: int) -> int:
+        """Kernel surface: one unit ACT (raw weight = scale)."""
+        return self._kernel(row, self._scale)
+
+    def raw_kernel(self, scale: int) -> Optional[RawRecordKernel]:
+        """The integer kernel, valid only at the tracker's own scale."""
+        if scale != self._scale:
+            return None
+        return self._kernel
+
+    def _kernel(self, row: int, raw: int) -> int:
+        """Misra-Gries update with a raw fixed-point weight.
+
+        Returns the number of mitigations fired (0 or 1).
+        """
         if raw == 0:
-            return []
-        count = self._table.get(row)
+            return 0
+        table = self._table
+        count = table.get(row)
         if count is not None:
             count += raw
-            self._table[row] = count
-        elif len(self._table) < self.entries:
+            table[row] = count
+        elif len(table) < self.entries:
             count = self._spill + raw
-            self._table[row] = count
-            heapq.heappush(self._heap, (count, row))
+            table[row] = count
+            heappush(self._heap, (count << _ROW_BITS) | row)
         else:
             self._spill += raw
             count = self._maybe_swap_in(row)
             if count is None:
-                return []
+                return 0
         if count >= self._threshold_raw:
-            self._table[row] = 0
-            heapq.heappush(self._heap, (0, row))
+            table[row] = 0
+            heappush(self._heap, row)  # count 0 packs to just the row
             self.mitigations += 1
-            return [row]
-        return []
+            return 1
+        return 0
 
     def _maybe_swap_in(self, row: int) -> int | None:
         """Misra-Gries swap: if spill caught up with the minimum entry,
         evict that entry and install ``row`` with the spill count."""
-        while self._heap:
-            count, candidate = self._heap[0]
-            current = self._table.get(candidate)
+        heap = self._heap
+        table = self._table
+        while heap:
+            packed = heap[0]
+            candidate = packed & _ROW_MASK
+            count = packed >> _ROW_BITS
+            current = table.get(candidate)
             if current is None or current != count:
-                heapq.heappop(self._heap)
+                heappop(heap)
                 if current is not None:
-                    heapq.heappush(self._heap, (current, candidate))
+                    heappush(heap, (current << _ROW_BITS) | candidate)
                 continue
             if self._spill >= count:
-                heapq.heappop(self._heap)
-                del self._table[candidate]
+                heappop(heap)
+                del table[candidate]
                 new_count = self._spill
-                self._table[row] = new_count
-                heapq.heappush(self._heap, (new_count, row))
+                table[row] = new_count
+                heappush(heap, (new_count << _ROW_BITS) | row)
                 return new_count
             return None
         return None

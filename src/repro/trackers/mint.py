@@ -14,6 +14,10 @@ At each RFM, the row in SAR (if valid) is mitigated, CAN resets, and a
 fresh SAN is drawn uniformly from the next interval.  With ImPress-P,
 CAN advances by EACT, so an access's chance of landing on the selected
 slot is proportional to its EACT (Section VI-C).
+
+The per-activation path is already three integer registers; the kernel
+surface (:meth:`record_unit` / :meth:`raw_kernel`) just skips the float
+conversion and the per-call list.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
-from .base import Tracker
+from .base import RawRecordKernel, Tracker
 
 #: Tolerated Rowhammer threshold per unit RFMTH (calibrated so that
 #: RFMTH = 80 tolerates TRH = 1.6K, the figure of merit quoted in
@@ -47,6 +51,17 @@ class MintTracker(Tracker):
     """Per-bank MINT instance (in-DRAM)."""
 
     in_dram = True
+
+    __slots__ = (
+        "rfmth",
+        "fraction_bits",
+        "_scale",
+        "rng",
+        "_can",
+        "_san",
+        "_sar",
+        "mitigations",
+    )
 
     def __init__(
         self,
@@ -97,15 +112,33 @@ class MintTracker(Tracker):
         raw = int(weight * self._scale)
         if raw < 0:
             raise ValueError("weight must be non-negative")
+        self._kernel(row, raw)
+        return []
+
+    def record_unit(self, row: int) -> int:
+        """Kernel surface: one unit ACT advances CAN by one scale."""
+        return self._kernel(row, self._scale)
+
+    def raw_kernel(self, scale: int) -> Optional[RawRecordKernel]:
+        """The register kernel, valid only at the tracker's own scale."""
+        if scale != self._scale:
+            return None
+        return self._kernel
+
+    def _kernel(self, row: int, raw: int) -> int:
+        """Advance CAN; capture ``row`` when it covers the selected slot.
+
+        Always returns 0: MINT never mitigates on the record path.
+        """
         if raw == 0:
-            return []
+            return 0
         before = self._can
         self._can = before + raw
         # The access covers slots (before, before + raw]; if the selected
         # slot falls inside, this row is captured for the next RFM.
         if before < self._san <= self._can:
             self._sar = row
-        return []
+        return 0
 
     def on_rfm(self, cycle: int = 0) -> Optional[int]:
         """Mitigate the captured row and start a fresh RFM interval."""

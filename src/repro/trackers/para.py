@@ -14,7 +14,7 @@ import math
 import random
 from typing import List, Optional
 
-from .base import Tracker
+from .base import RawRecordKernel, Tracker
 
 #: Per-attack escape probability implied by the paper's p = 1/184 at
 #: TRH = 4K for a 0.1 FIT bank-failure target (Section III-B).
@@ -55,9 +55,15 @@ class ParaTracker(Tracker):
     ``min(1, p * weight)``; with integer weight 1 this is classic PARA,
     with fractional EACT weights it is ImPress-P's variable-probability
     PARA.
+
+    The kernel surface draws from the *same* RNG in the same order as
+    ``record`` (one draw per non-zero-weight activation), so sequences
+    stay reproducible whichever surface drives the tracker.
     """
 
     in_dram = False
+
+    __slots__ = ("p", "rng", "mitigations")
 
     def __init__(self, p: float, rng: Optional[random.Random] = None) -> None:
         if not 0 < p <= 1:
@@ -81,6 +87,32 @@ class ParaTracker(Tracker):
             self.mitigations += 1
             return [row]
         return []
+
+    def record_unit(self, row: int) -> int:
+        """Kernel surface: one unit ACT, selection probability ``p``."""
+        if self.rng.random() < self.p:
+            self.mitigations += 1
+            return 1
+        return 0
+
+    def raw_kernel(self, scale: int) -> Optional[RawRecordKernel]:
+        """Selection with probability ``p * raw / scale`` (any scale).
+
+        PARA keeps no counters, so any fixed-point scale works — the
+        kernel reconstructs the exact float weight (``raw / scale`` is
+        exact for power-of-two scales) before the draw.
+        """
+        p = self.p
+
+        def _kernel(row: int, raw: int) -> int:
+            if raw == 0:
+                return 0
+            if self.rng.random() < min(1.0, p * (raw / scale)):
+                self.mitigations += 1
+                return 1
+            return 0
+
+        return _kernel
 
     def reset(self) -> None:
         """PARA keeps no state."""

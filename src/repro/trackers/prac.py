@@ -15,9 +15,9 @@ impractical.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from .base import Tracker
+from .base import RawRecordKernel, Tracker
 
 #: JEDEC DDR5 rows per bank in our 32 GB/channel configuration.
 DEFAULT_ROWS_PER_BANK = 65536
@@ -31,9 +31,22 @@ class PracTracker(Tracker):
     refresh and its counter resets (the ABO flow).  PRAC is in-DRAM
     storage-wise, but unlike Mithril/MINT it does not wait for RFM, so
     we model it on the MC-visible path.
+
+    The per-activation path is one sparse-dict update; the kernel
+    surface runs it on raw fixed-point weights with no per-call list.
     """
 
     in_dram = False
+
+    __slots__ = (
+        "alert_threshold",
+        "rows_per_bank",
+        "fraction_bits",
+        "_scale",
+        "_alert_raw",
+        "_counters",
+        "alerts",
+    )
 
     def __init__(
         self,
@@ -74,15 +87,32 @@ class PracTracker(Tracker):
         raw = int(weight * self._scale)
         if raw < 0:
             raise ValueError("weight must be non-negative")
+        return [row] if self._kernel(row, raw) else []
+
+    def record_unit(self, row: int) -> int:
+        """Kernel surface: one unit ACT (raw weight = scale)."""
+        return self._kernel(row, self._scale)
+
+    def raw_kernel(self, scale: int) -> Optional[RawRecordKernel]:
+        """The counter kernel, valid only at the tracker's own scale."""
+        if scale != self._scale:
+            return None
+        return self._kernel
+
+    def _kernel(self, row: int, raw: int) -> int:
+        """Per-row counter update; returns 1 on an ABO alert, else 0."""
+        if not 0 <= row < self.rows_per_bank:
+            raise ValueError(f"row {row} outside the bank")
         if raw == 0:
-            return []
-        count = self._counters.get(row, 0) + raw
+            return 0
+        counters = self._counters
+        count = counters.get(row, 0) + raw
         if count >= self._alert_raw:
-            self._counters[row] = 0
+            counters[row] = 0
             self.alerts += 1
-            return [row]
-        self._counters[row] = count
-        return []
+            return 1
+        counters[row] = count
+        return 0
 
     def reset(self) -> None:
         """Zero every per-row counter (refresh-window boundary)."""

@@ -48,9 +48,11 @@ class TestDemandPath:
         controller = make_controller(timings, idle_close_cycles=None,
                                      mop_burst_lines=None)
         controller.enqueue(demand(0, 0, 5))
-        result = controller.service(0, 0)
+        controller.service(0, 0)
         controller.enqueue(demand(0, 0, 9))
-        cycle = max(result.next_wake, timings.tRAS)
+        # Step at busy_until: next_wake now reports the real next
+        # deadline (refresh/tMRO/idle), not the bank-free cycle.
+        cycle = max(controller.state[0].busy_until, timings.tRAS)
         controller.service(0, cycle)
         assert controller.row_conflicts == 1
         assert controller.counts.precharges >= 1
@@ -59,11 +61,11 @@ class TestDemandPath:
         controller = make_controller(timings, idle_close_cycles=None,
                                      mop_burst_lines=None)
         controller.enqueue(demand(0, 0, 5))
-        first = controller.service(0, 0)
+        controller.service(0, 0)
         # Queue a conflicting row first, then a hit to the open row.
         controller.enqueue(demand(0, 0, 9, 2))
         controller.enqueue(demand(0, 0, 5, 1))
-        controller.service(0, first.next_wake)
+        controller.service(0, controller.state[0].busy_until)
         assert controller.row_hits == 1  # the younger hit won
 
     def test_write_completes_at_column_issue(self, timings):
@@ -118,7 +120,9 @@ class TestMopAndIdleClose:
                                      idle_close_cycles=100)
         controller.enqueue(demand(0, 0, 5))
         wake = controller.service(0, 0).next_wake
-        result = controller.service(0, wake)  # nothing to do yet
+        # With nothing queued, the demand service reports the idle-close
+        # deadline directly as its next wake.
+        assert wake == controller.state[0].last_use + 100
         assert controller.banks[0].is_open
         late = controller.service(0, wake + 200)
         assert late.worked
@@ -180,8 +184,8 @@ class TestRfm:
         cycle = 0
         for row in (1, 2):
             controller.enqueue(demand(0, 0, row))
-            result = controller.service(0, cycle)
-            cycle = result.next_wake + timings.tRC
+            controller.service(0, cycle)
+            cycle = controller.state[0].busy_until + timings.tRC
         result = controller.service(0, cycle)
         assert controller.counts.rfms == 1
 

@@ -46,6 +46,8 @@ def assert_equivalent(system, traces, defense=None, tmro_ns=None):
     assert result_fields(optimized) == result_fields(reference)
 
 
+#: Every tracker the simulator supports appears at least once, so the
+#: bit-identical contract covers the full kernel surface.
 DEFENSES = [
     None,
     DefenseConfig(tracker="graphene", scheme="no-rp"),
@@ -53,8 +55,15 @@ DEFENSES = [
     DefenseConfig(tracker="graphene", scheme="express", alpha=1.0),
     DefenseConfig(tracker="graphene", scheme="impress-n"),
     DefenseConfig(tracker="para", scheme="no-rp", trh=100),
+    DefenseConfig(tracker="para", scheme="impress-p", trh=100),
     DefenseConfig(tracker="mithril", scheme="no-rp", rfmth=20),
+    DefenseConfig(tracker="mithril", scheme="impress-p", rfmth=20),
     DefenseConfig(tracker="mint", scheme="impress-n", trh=1600, rfmth=20),
+    DefenseConfig(tracker="mint", scheme="impress-p", trh=1600, rfmth=20),
+    DefenseConfig(tracker="prac", scheme="no-rp", trh=150),
+    DefenseConfig(tracker="prac", scheme="impress-p", trh=150),
+    DefenseConfig(tracker="dsac", scheme="no-rp", trh=300),
+    DefenseConfig(tracker="dsac", scheme="impress-p", trh=300),
 ]
 
 

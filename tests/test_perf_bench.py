@@ -93,6 +93,65 @@ class TestHarness:
         assert meta["platform"]
 
 
+class TestMicrobenchEngines:
+    @pytest.mark.parametrize(
+        "tracker", ["graphene", "para", "mithril", "mint", "prac", "dsac"]
+    )
+    def test_tracker_kernel_rows(self, tracker):
+        from repro.bench import KERNEL_RECORDS_PER_REQUEST
+
+        spec = BenchSpec(
+            f"ukernel_{tracker}", "synthetic", tracker=tracker,
+            scheme="kernel", n_cores=1, engine="tracker-kernel",
+        )
+        result = run_one(spec, 20, repeats=1)
+        # cycles counts kernel record calls for this engine.
+        assert result.cycles == 20 * KERNEL_RECORDS_PER_REQUEST
+        assert result.cycles_per_sec > 0
+
+    def test_sweep_row_sums_point_cycles(self):
+        spec = BenchSpec(
+            "sweep_tiny", "mcf+add", tracker="graphene",
+            scheme="impress-p", n_cores=2, engine="sweep",
+            fixed_requests=30,
+        )
+        result = run_one(spec, 999, repeats=1)
+        assert result.n_requests == 30  # pinned shape
+        assert result.cycles > 0
+
+    def test_canonical_set_has_ukernel_and_sweep_rows(self):
+        from repro.bench import CANONICAL_BENCHMARKS
+
+        names = {spec.name for spec in CANONICAL_BENCHMARKS}
+        assert {
+            "ukernel_graphene", "ukernel_para", "ukernel_mithril",
+            "ukernel_mint", "ukernel_prac", "ukernel_dsac",
+            "sweep_run_many",
+        } <= names
+
+
+class TestProfileCommand:
+    def test_profile_row_prints_table(self):
+        from repro.bench import profile_row
+
+        messages = []
+        code = profile_row(
+            "ukernel_para", quick=True, n_requests=10, top=5,
+            progress=messages.append,
+        )
+        assert code == 0
+        output = "\n".join(messages)
+        assert "profile of ukernel_para" in output
+        assert "cumulative" in output
+
+    def test_profile_unknown_row_errors(self):
+        from repro.bench import profile_row
+
+        messages = []
+        assert profile_row("nope", progress=messages.append) == 2
+        assert "unknown benchmark" in messages[0]
+
+
 class TestArtifacts:
     def test_indexing_and_next_path(self, tmp_path):
         assert artifact_index(Path("BENCH_0042.json")) == 42
@@ -187,6 +246,41 @@ class TestBenchCompareTool:
         proc = run_compare(tmp_path, tmp_path)
         assert proc.returncode == 0
         assert "BENCH_0002.json" in proc.stdout
+
+
+class TestTrajectoryMode:
+    def test_trajectory_table_over_sequence(self, tmp_path):
+        _artifact(tmp_path, "BENCH_0001.json", 100_000.0)
+        _artifact(tmp_path, "BENCH_0002.json", 150_000.0)
+        _artifact(tmp_path, "BENCH_0003.json", 200_000.0)
+        proc = run_compare("--trajectory", tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "trajectory over 3 artifacts" in proc.stdout
+        line = next(
+            ln for ln in proc.stdout.splitlines()
+            if ln.strip().startswith("single_core")
+        )
+        # Baseline column is absolute, later columns ratios vs it.
+        assert "100,000" in line
+        assert "1.50x" in line
+        assert "2.00x" in line
+
+    def test_trajectory_marks_shape_changes(self, tmp_path):
+        _artifact(tmp_path, "BENCH_0001.json", 100_000.0, n_requests=30)
+        _artifact(tmp_path, "BENCH_0002.json", 100_000.0, n_requests=400)
+        proc = run_compare("--trajectory", tmp_path)
+        assert proc.returncode == 0
+        assert "shape" in proc.stdout
+
+    def test_trajectory_needs_two_artifacts(self, tmp_path):
+        _artifact(tmp_path, "BENCH_0001.json", 100_000.0)
+        proc = run_compare("--trajectory", tmp_path)
+        assert proc.returncode == 2
+
+    def test_pairwise_still_requires_current(self, tmp_path):
+        _artifact(tmp_path, "BENCH_0001.json", 100_000.0)
+        proc = run_compare(tmp_path)
+        assert proc.returncode == 2
 
 
 class TestCliIntegration:

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_<n>.json artifacts and fail on gross regression.
+"""Compare BENCH_<n>.json artifacts and fail on gross regression.
 
 Usage (the CI perf-smoke gate):
 
@@ -11,6 +11,13 @@ Each argument is a ``BENCH_<n>.json`` file or a directory holding them
 whose quick/full mode matches the other side).  Benchmarks are matched
 by name, and only rows with identical ``n_requests`` and ``n_cores`` are
 compared — throughput is not comparable across different run shapes.
+
+Trajectory mode prints the whole committed sequence instead of one
+pairwise gate — each row's normalized throughput from its first
+appearance (absolute) through every later artifact (ratio vs that
+baseline):
+
+    python tools/bench_compare.py --trajectory benchmarks/baselines
 
 Because baseline and current may come from different machines, each
 throughput is normalized by its artifact's ``calibration_ops_per_sec``
@@ -133,10 +140,87 @@ def compare(
     return 0
 
 
+def collect(spec: str) -> List[Path]:
+    """Every artifact a spec names: a file, or a directory's sequence."""
+    path = Path(spec)
+    if path.is_file():
+        return [path]
+    if path.is_dir():
+        return artifacts_in(path)
+    raise FileNotFoundError(spec)
+
+
+def _shape(row: Dict) -> tuple:
+    return (row.get("n_requests"), row.get("n_cores"))
+
+
+def trajectory(specs: List[str], normalize: bool) -> int:
+    """Print the per-row throughput trajectory across an artifact sequence.
+
+    Rows are matched by name; each row's first appearance is its
+    baseline column (absolute normalized throughput) and every later
+    artifact shows the calibration-normalized ratio against it.  Cells
+    whose run shape differs from the baseline print ``shape`` instead
+    of a misleading ratio; artifacts without the row print ``—``.
+    """
+    paths: List[Path] = []
+    for spec in specs:
+        for path in collect(spec):
+            if path not in paths:
+                paths.append(path)
+    if len(paths) < 2:
+        print("error: need at least two artifacts for a trajectory")
+        return 2
+    artifacts = [(path, normalized_rows(load(path), normalize)) for path in paths]
+    names: List[str] = []
+    for _, rows in artifacts:
+        for name in rows:
+            if name not in names:
+                names.append(name)
+    label = "normalized" if normalize else "raw"
+    print(f"trajectory over {len(paths)} artifacts ({label} throughput; "
+          f"first appearance -> ratio):")
+    # Disambiguate same-numbered artifacts from different directories
+    # (e.g. the committed baselines vs a fresh CI run both starting at
+    # BENCH_0001) by prefixing the parent directory name.
+    names_only = [path.name for path, _ in artifacts]
+    columns = [
+        path.name.removesuffix(".json")
+        if names_only.count(path.name) == 1
+        else f"{path.parent.name}/{path.name.removesuffix('.json')}"
+        for path, _ in artifacts
+    ]
+    width = max(12, max(len(column) for column in columns) + 2)
+    header = f"  {'benchmark':<24}" + "".join(
+        f"{column:>{width}}" for column in columns
+    )
+    print(header)
+    for name in names:
+        base = None
+        cells = []
+        for _, rows in artifacts:
+            row = rows.get(name)
+            if row is None:
+                cells.append(f"{'—':>{width}}")
+            elif base is None:
+                base = row
+                cells.append(f"{row['cycles_per_sec']:>{width},.0f}")
+            elif _shape(row) != _shape(base):
+                cells.append(f"{'shape':>{width}}")
+            else:
+                ratio = row["normalized"] / base["normalized"]
+                cells.append(f"{ratio:>{width - 1}.2f}x")
+        print(f"  {name:<24}" + "".join(cells))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="BENCH file or directory")
-    parser.add_argument("current", help="BENCH file or directory")
+    parser.add_argument(
+        "current", nargs="?", default=None,
+        help="BENCH file or directory (optional with --trajectory)",
+    )
     parser.add_argument(
         "--max-regression", type=float, default=0.30,
         help="maximum tolerated throughput drop (default 0.30 = 30%%)",
@@ -145,7 +229,17 @@ def main(argv=None) -> int:
         "--no-normalize", action="store_true",
         help="compare raw cycles/sec without calibration normalization",
     )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="print the whole BENCH_* sequence (baseline -> latest per "
+             "row) instead of a pairwise gate",
+    )
     args = parser.parse_args(argv)
+    if args.trajectory:
+        specs = [args.baseline] + ([args.current] if args.current else [])
+        return trajectory(specs, not args.no_normalize)
+    if args.current is None:
+        parser.error("current is required without --trajectory")
     current_path = resolve(args.current)
     current = load(current_path)
     baseline_path = resolve(args.baseline, prefer_quick=current.get("quick"))
