@@ -69,6 +69,10 @@ class BenchSpec:
       (workload x defense) grid; ``cycles`` sums the simulated cycles
       of every point, so ``cycles_per_sec`` is sweep throughput
       including trace compilation and cache management.
+    * ``"scenario"`` — a full simulation of the scenario preset named
+      by ``workload`` (its own topology and defense; see
+      ``repro scenario list``), measuring the engine under co-located
+      attacker traffic; ``cycles`` are simulated DRAM cycles.
     """
 
     name: str
@@ -141,6 +145,9 @@ CANONICAL_BENCHMARKS: Sequence[BenchSpec] = (
     BenchSpec("sweep_run_many", "mcf+add", tracker="graphene",
               scheme="impress-p", n_cores=2, engine="sweep",
               fixed_requests=SWEEP_BENCH_REQUESTS),
+    BenchSpec("colocated_attack", "colocated_hammer_mcf",
+              tracker="graphene", scheme="impress-p", n_cores=8,
+              engine="scenario"),
 )
 
 
@@ -378,11 +385,45 @@ def _sweep_pass(spec: BenchSpec, n_requests: int):
     return timed_pass
 
 
+def _scenario_pass(spec: BenchSpec, n_requests: int):
+    """Timed-pass closure for the co-located scenario row.
+
+    Resolves the preset named by ``spec.workload``, pre-compiles its
+    heterogeneous per-core traces (benign victims + attacker
+    generators) outside the timed region, and times the engine alone —
+    the same contract as the ``fast`` rows, but under adversarial
+    co-located traffic on the preset's own topology and defense.
+    """
+    from .scenarios.registry import get_scenario
+    from .workloads.compiled import compiled_source_traces
+
+    scenario = get_scenario(spec.workload)
+    system = scenario.system
+    if isinstance(scenario.cores, str):
+        compiled = compiled_rate_mode_traces(
+            scenario.cores, system.n_cores, n_requests, 0, system.mapper()
+        )
+    else:
+        compiled = compiled_source_traces(
+            scenario.cores, n_requests, 0, system.mapper()
+        )
+    traces = [entry.trace for entry in compiled]
+
+    def timed_pass() -> int:
+        return SystemSimulator(
+            system, traces, scenario.defense, tmro_ns=scenario.tmro_ns,
+            compiled=compiled,
+        ).run().elapsed_cycles
+
+    return timed_pass
+
+
 _ENGINE_PASSES = {
     "fast": _simulation_pass,
     "reference": _simulation_pass,
     "tracker-kernel": _tracker_kernel_pass,
     "sweep": _sweep_pass,
+    "scenario": _scenario_pass,
 }
 
 

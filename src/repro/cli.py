@@ -12,7 +12,12 @@ Commands:
 * ``verify`` — report the effective threshold of every scheme under
   adversarial Row-Press patterns.
 * ``size`` — print tracker provisioning for a threshold/alpha.
-* ``simulate`` — run one workload against one defense configuration.
+* ``simulate`` — run one workload (a profile, a STREAM mix, or a named
+  scenario preset) against one defense configuration.
+* ``scenario`` — the declarative scenario subsystem
+  (see docs/scenarios.md): ``list`` the presets, ``run`` one preset
+  with security metrics and a cached results artifact, ``sweep`` a
+  preset grid across defense configurations.
 * ``bench`` — time the canonical simulations and write a tracked
   ``BENCH_<n>.json`` throughput artifact (see docs/performance.md).
 """
@@ -154,6 +159,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .scenarios import is_scenario
+
+    if is_scenario(args.workload):
+        # Scenario names delegate to the scenario runner: the preset
+        # carries its own topology and defense, so the tracker/scheme
+        # flags do not apply.
+        return _print_scenario_run(
+            args.workload, n_requests=args.requests, seed=0, jobs=1
+        )
     defense = DefenseConfig(
         tracker=args.tracker, scheme=args.scheme, trh=args.trh,
         alpha=args.alpha,
@@ -169,6 +183,155 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     energy = result.energy()
     print(f"  energy {energy.total:.0f} units "
           f"(ACT share {energy.activation_share:.2f})")
+    return 0
+
+
+# -- scenario subsystem ---------------------------------------------------
+
+
+def _print_scenario_metrics(payload: dict) -> None:
+    """Shared pretty-printer for a scenario result payload."""
+    metrics = payload["metrics"]
+    print(f"  cores:   {payload['cores']}")
+    print(f"  defense: {payload['defense']}")
+    slowdown = metrics.get("victim_slowdown")
+    act_rate = metrics.get("attacker_act_rate_per_cycle")
+    acts_per_sec = metrics.get("attacker_acts_per_sec")
+    if slowdown is not None:
+        print(f"  victim slowdown: {slowdown:.3f}x vs idle-attacker "
+              f"baseline")
+    if act_rate is not None:
+        print(f"  attacker ACT rate: {act_rate:.5f} ACTs/cycle "
+              f"({acts_per_sec:,.0f} ACTs/s)")
+    if slowdown is None and act_rate is None:
+        print("  benign scenario: no attacker cores")
+    print(f"  elapsed {metrics['elapsed_cycles']} cycles, "
+          f"hit rate {metrics['hit_rate']:.3f}, "
+          f"demand ACTs {metrics['demand_acts']}, "
+          f"mitigative ACTs {metrics['mitigative_acts']}")
+
+
+def _print_scenario_run(
+    name: str,
+    n_requests: int,
+    seed: int,
+    jobs: int,
+    results_dir: Optional[str] = None,
+    force: bool = False,
+) -> int:
+    from .scenarios import run_scenario, run_scenario_cached
+
+    try:
+        if results_dir is None:
+            report = run_scenario(
+                name, n_requests=n_requests, seed=seed, jobs=jobs
+            )
+            payload, cached = report.to_json(), False
+        else:
+            payload, path, cached = run_scenario_cached(
+                name, Path(results_dir), n_requests=n_requests,
+                seed=seed, jobs=jobs, force=force,
+            )
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    state = "cached" if cached else "simulated"
+    print(f"scenario {name} ({state}):")
+    _print_scenario_metrics(payload)
+    if results_dir is not None:
+        print(f"  artifact: {path}")
+    return 0
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from .scenarios import SCENARIOS
+
+    print(f"{'name':<26} {'defense':<22} cores")
+    for spec in SCENARIOS.values():
+        print(f"{spec.name:<26} {spec.defense_summary():<22} "
+              f"{spec.core_summary()}")
+        if args.verbose and spec.description:
+            print(f"{'':<26} {spec.description}")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    return _print_scenario_run(
+        args.name,
+        n_requests=args.requests,
+        seed=args.seed,
+        jobs=args.jobs,
+        results_dir=args.results_dir,
+        force=args.force,
+    )
+
+
+def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    from .experiments.common import SweepRunner
+    from .scenarios import get_scenario
+    from .sim.config import DefenseConfig as Defense
+    from .sim.metrics import attacker_act_rate, victim_slowdown
+
+    try:
+        specs = [get_scenario(name) for name in args.names]
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    systems = {spec.system for spec in specs}
+    if len(systems) > 1:
+        print("error: swept scenarios must share one topology "
+              "(the sweep cache is keyed per topology)")
+        return 2
+    if args.trackers or args.schemes:
+        trackers = [
+            t.strip() for t in (args.trackers or "graphene").split(",")
+            if t.strip()
+        ]
+        schemes = [
+            s.strip() for s in (args.schemes or "impress-p").split(",")
+            if s.strip()
+        ]
+        try:
+            defenses = [
+                Defense(tracker=tracker, scheme=scheme)
+                for tracker in trackers
+                for scheme in schemes
+            ]
+        except ValueError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+        points = [
+            spec.with_defense(defense)
+            for spec in specs
+            for defense in defenses
+        ]
+    else:
+        points = list(specs)
+    runner = SweepRunner(
+        system=specs[0].system, n_requests=args.requests, seed=args.seed,
+        jobs=args.jobs,
+    )
+    # One batch covers every scenario and every baseline leg; with
+    # --jobs > 1 the whole grid fans out across the process pool.
+    baselines = [point.baseline() for point in points]
+    runner.run_many(points + baselines, jobs=args.jobs)
+    runner.close_pool()
+    print(f"{'scenario':<26} {'defense':<22} {'slowdown':>9} "
+          f"{'ACTs/cycle':>11}")
+    for point, baseline in zip(points, baselines):
+        result = runner.run(*point.sweep_point())
+        base = runner.run(*baseline.sweep_point())
+        attackers = point.attacker_cores()
+        if attackers:
+            slowdown = f"{victim_slowdown(result, base, attackers):9.3f}"
+            rate = f"{attacker_act_rate(result, attackers):11.5f}"
+        else:
+            slowdown, rate = f"{'-':>9}", f"{'-':>11}"
+        print(f"{point.name:<26} {point.defense_summary():<22} "
+              f"{slowdown} {rate}")
+    stats = runner.cache_stats()
+    print(f"({len(points)} scenario points, {len(baselines)} baselines; "
+          f"cache {stats.hits:.0f} hits / {stats.misses:.0f} misses)")
     return 0
 
 
@@ -242,8 +405,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_bench_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
-    simulate = sub.add_parser("simulate", help="run one workload")
-    simulate.add_argument("workload")
+    simulate = sub.add_parser(
+        "simulate",
+        help="run one workload: a profile (mcf), a STREAM mix "
+             "(add_copy), or a scenario preset (colocated_hammer_mcf)",
+    )
+    simulate.add_argument(
+        "workload",
+        help="profile, mix, or scenario name (see `repro scenario list`; "
+             "scenario presets carry their own defense, so the flags "
+             "below apply to profile/mix runs only)",
+    )
     simulate.add_argument("--tracker", choices=TRACKER_NAMES,
                           default="graphene")
     simulate.add_argument("--scheme", choices=SCHEME_NAMES,
@@ -252,6 +424,71 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--alpha", type=float, default=1.0)
     simulate.add_argument("--requests", type=int, default=1000)
     simulate.set_defaults(func=_cmd_simulate)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative workload x attacker x defense scenarios",
+    )
+    scenario_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_list = scenario_sub.add_parser(
+        "list", help="list the registered scenario presets"
+    )
+    scenario_list.add_argument(
+        "--verbose", action="store_true",
+        help="include the one-line description of each preset",
+    )
+    scenario_list.set_defaults(func=_cmd_scenario_list)
+
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help="run one preset (plus its victim-only baseline) and "
+             "report victim slowdown and attacker ACT rate",
+    )
+    scenario_run.add_argument("name", help="a preset from `scenario list`")
+    scenario_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan the scenario and baseline legs across worker "
+             "processes (results are identical to serial)",
+    )
+    scenario_run.add_argument("--requests", type=int, default=800,
+                              help="requests per core")
+    scenario_run.add_argument("--seed", type=int, default=0)
+    scenario_run.add_argument(
+        "--results-dir", default="results",
+        help="artifact/cache directory (default: results/; the "
+             "artifact lands in <dir>/scenarios/<name>.json)",
+    )
+    scenario_run.add_argument(
+        "--force", action="store_true",
+        help="re-simulate even when a matching artifact exists",
+    )
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep",
+        help="sweep presets across defense configurations via "
+             "SweepRunner.run_many (one batch, optional process pool)",
+    )
+    scenario_sweep.add_argument(
+        "names", nargs="+", help="presets from `scenario list`"
+    )
+    scenario_sweep.add_argument(
+        "--trackers", default=None,
+        help="comma-separated trackers to cross with --schemes "
+             "(default: keep each preset's own defense)",
+    )
+    scenario_sweep.add_argument(
+        "--schemes", default=None,
+        help="comma-separated RP schemes to cross with --trackers",
+    )
+    scenario_sweep.add_argument("--jobs", type=int, default=1)
+    scenario_sweep.add_argument("--requests", type=int, default=400,
+                                help="requests per core")
+    scenario_sweep.add_argument("--seed", type=int, default=0)
+    scenario_sweep.set_defaults(func=_cmd_scenario_sweep)
     return parser
 
 

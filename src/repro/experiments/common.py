@@ -15,11 +15,19 @@ from ..sim.system import simulate_workload
 from ..workloads.profiles import SPEC_NAMES, STREAM_NAMES
 
 #: One sweep point: ``(workload, defense, tmro_ns)`` — the same triple
-#: that keys the :class:`SweepRunner` cache.
-SweepPoint = Tuple[str, Optional[DefenseConfig], Optional[float]]
+#: that keys the :class:`SweepRunner` cache.  The workload slot is a
+#: rate-mode name *or* a heterogeneous per-core source tuple
+#: (:data:`repro.workloads.sources.CoreSources`); both are hashable and
+#: :func:`~repro.sim.system.simulate_workload` dispatches on the type.
+SweepPoint = Tuple[object, Optional[DefenseConfig], Optional[float]]
 
 #: What callers may pass to :meth:`SweepRunner.run_many`: a bare
-#: workload name, a ``(workload, defense)`` pair, or a full triple.
+#: workload name, a ``(workload, defense)`` pair, a full triple, or any
+#: object with a ``sweep_point()`` method — notably
+#: :class:`repro.scenarios.spec.ScenarioSpec`, so scenario grids feed
+#: ``run_many`` directly.  A bare source tuple is *not* accepted (it is
+#: indistinguishable from a point tuple); wrap it in a triple or a
+#: ScenarioSpec.
 SweepPointLike = Union[
     str,
     Tuple[str],
@@ -28,8 +36,11 @@ SweepPointLike = Union[
 ]
 
 
-def _normalize_point(point: SweepPointLike) -> SweepPoint:
+def _normalize_point(point) -> SweepPoint:
     """Canonicalize a point spec into the cache-key triple."""
+    sweep_point = getattr(point, "sweep_point", None)
+    if sweep_point is not None:
+        return sweep_point()
     if isinstance(point, str):
         return (point, None, None)
     workload, *rest = point
@@ -97,8 +108,11 @@ class SweepRunner:
     ``(workload, defense, tmro_ns)``; the runner's own ``system``,
     ``n_requests`` and ``seed`` are fixed per instance and therefore not
     part of the key — never mutate them after the first ``run()``.
-    ``defense`` is a frozen dataclass (or None), so value-equal configs
-    share an entry.  :meth:`speedup` looks its baseline up through the
+    ``workload`` is a rate-mode name or a frozen per-core source tuple
+    (the scenario path), and ``defense`` a frozen dataclass (or None),
+    so value-equal configs share an entry.  Scenario specs built on
+    this runner's topology canonicalize named workloads to their plain
+    strings, so scenario grids and legacy figure sweeps share entries.  :meth:`speedup` looks its baseline up through the
     same cache under ``(workload, baseline, None)``: the baseline leg
     always runs *without* a tMRO override, so a ``tmro_ns`` sweep shares
     one baseline entry per workload rather than one per point.
@@ -133,10 +147,11 @@ class SweepRunner:
 
     def run(
         self,
-        workload: str,
+        workload,
         defense: Optional[DefenseConfig] = None,
         tmro_ns: Optional[float] = None,
     ) -> SimResult:
+        """One (possibly cached) simulation of a workload-key point."""
         key = (workload, defense, tmro_ns)
         cached = self._cache.get(key)
         if cached is not None:
@@ -156,7 +171,7 @@ class SweepRunner:
 
     def speedup(
         self,
-        workload: str,
+        workload,
         defense: Optional[DefenseConfig],
         baseline: Optional[DefenseConfig] = None,
         tmro_ns: Optional[float] = None,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from ..scenarios.grid import ScenarioGrid
 from ..sim.config import DefenseConfig
 from .common import SweepRunner, category_geomeans, workload_set
 
@@ -53,17 +54,21 @@ def run(
         )
         for scheme in IN_DRAM_SCHEMES
     }
-    # Fan the grid out (process pool when the runner has jobs > 1); the
+    # The whole figure as one scenario grid — every workload crossed
+    # with every baseline and scheme config — fanned out through
+    # run_many (process pool when the runner has jobs > 1); the
     # assembly below then reads every point back as a cache hit.
-    runner.run_many(
-        [(name, defense) for name in names for defense in baselines.values()]
-        + [
-            (name, defense)
-            for name in names
+    scenario_grid = ScenarioGrid.cross(
+        workloads=tuple(names),
+        defenses=tuple(baselines.values()) + tuple(
+            defense
             for schemes in grid.values()
             for defense in schemes.values()
-        ]
+        ),
+        system=runner.system,
+        name="fig13",
     )
+    runner.run_many(scenario_grid.expand())
     output: Dict[str, Dict[str, Dict[str, float]]] = {}
     for tracker, schemes in grid.items():
         baseline = baselines[tracker]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from ..scenarios.grid import ScenarioGrid
 from ..sim.config import DefenseConfig
 from .common import SweepRunner, category_geomeans, workload_set
 
@@ -49,17 +50,17 @@ def run(
         )
         for alpha in ALPHAS
     }
-    runner.run_many(
-        [
-            (name, defense)
-            for name in names
-            for defense in (
-                list(baselines.values())
-                + list(mc_defenses.values())
-                + list(mint_defenses.values())
-            )
-        ]
+    # One scenario grid covers the figure: every workload crossed with
+    # every baseline, MC-tracker, and MINT defense configuration.
+    scenario_grid = ScenarioGrid.cross(
+        workloads=tuple(names),
+        defenses=tuple(baselines.values())
+        + tuple(mc_defenses.values())
+        + tuple(mint_defenses.values()),
+        system=runner.system,
+        name="fig16",
     )
+    runner.run_many(scenario_grid.expand())
     output: Dict[str, Dict[str, Dict[str, float]]] = {}
     for tracker in MC_TRACKERS:
         baseline = baselines[tracker]

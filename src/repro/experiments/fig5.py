@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..core.analysis import express_relative_threshold_measured
+from ..scenarios.grid import ScenarioGrid
 from ..sim.config import DefenseConfig
 from ..sim.metrics import geomean
 from .common import SweepRunner, spec_of, stream_of, workload_set
@@ -28,9 +29,9 @@ def run(
     """{tracker: {"SPEC"|"STREAM": {tmro or inf(no-tMRO): geomean perf}}}."""
     runner = runner or SweepRunner()
     names = workload_set(quick)
-    # Build each grid config once; the batch list and the assembly loop
-    # below share the same objects, so the fan-out and the cache lookups
-    # can never drift apart.
+    # Build each grid config once; the scenario grid and the assembly
+    # loop below share the same objects, so the fan-out and the cache
+    # lookups can never drift apart.
     baselines = {
         tracker: DefenseConfig(tracker=tracker, scheme="no-rp", trh=trh)
         for tracker in TRACKERS
@@ -46,19 +47,23 @@ def run(
         for tracker in TRACKERS
         for tmro in tmros_ns
     }
-    runner.run_many(
-        [
-            (name, baseline, None)
-            for name in names
-            for baseline in baselines.values()
-        ]
-        + [
-            (name, defenses[tracker, tmro], tmro)
-            for name in names
+    # The whole figure as one scenario grid: every workload crossed
+    # with the paired (defense, tMRO) points — the tracker provisioned
+    # for the measured T*(tMRO) runs *at* that tMRO, which is why the
+    # defense axis is explicit pairs rather than a cross product.
+    grid = ScenarioGrid(
+        workloads=tuple(names),
+        defense_points=tuple(
+            (baselines[tracker], None) for tracker in TRACKERS
+        ) + tuple(
+            (defenses[tracker, tmro], tmro)
             for tracker in TRACKERS
             for tmro in tmros_ns
-        ]
+        ),
+        system=runner.system,
+        name="fig5",
     )
+    runner.run_many(grid.expand())
     output: Dict[str, Dict[str, Dict[float, float]]] = {}
     for tracker in TRACKERS:
         baseline = baselines[tracker]

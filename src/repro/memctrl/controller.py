@@ -116,6 +116,11 @@ class ChannelController:
         ]
         self.state = [BankBookkeeping() for _ in range(num_banks)]
         self.counts = CommandCounts()
+        #: Demand ACTs attributed to the core that triggered them,
+        #: keyed by core id.  This is what scenario metrics read to
+        #: report per-attacker activation rates; it only grows on the
+        #: miss/conflict path, so row hits stay untouched.
+        self.core_demand_acts: dict = {}
         self.row_hits = 0
         self.row_misses = 0
         self.row_conflicts = 0
@@ -353,6 +358,9 @@ class ChannelController:
             else:
                 self.row_misses += 1
             act_cycle = self._activate(bank_id, request.row, start)
+            core_acts = self.core_demand_acts
+            core_id = request.core_id
+            core_acts[core_id] = core_acts.get(core_id, 0) + 1
             col_cycle = act_cycle + self._tRCD
             bank_col = bank._ready_col
             if col_cycle < bank_col:

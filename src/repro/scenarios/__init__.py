@@ -1,0 +1,36 @@
+"""The scenario subsystem: declarative (workloads × attackers ×
+topology × defense) points over the paper's design space.
+
+* :mod:`~repro.scenarios.spec` — the frozen, hashable
+  :class:`~repro.scenarios.spec.ScenarioSpec` value.
+* :mod:`~repro.scenarios.registry` — named presets (benign references,
+  co-located hammering, dwell, decoy, refresh-synchronized,
+  multi-attacker saturation).
+* :mod:`~repro.scenarios.grid` — cross-product expansion feeding
+  :meth:`~repro.experiments.common.SweepRunner.run_many`.
+* :mod:`~repro.scenarios.run` — execution, security metrics, and the
+  disk-cached results artifacts behind ``repro scenario run``.
+"""
+
+from .grid import ScenarioGrid
+from .registry import SCENARIOS, get_scenario, is_scenario, scenario_names
+from .run import (
+    DEFAULT_SCENARIO_REQUESTS,
+    ScenarioReport,
+    run_scenario,
+    run_scenario_cached,
+)
+from .spec import ScenarioSpec
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioGrid",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "DEFAULT_SCENARIO_REQUESTS",
+    "get_scenario",
+    "is_scenario",
+    "run_scenario",
+    "run_scenario_cached",
+    "scenario_names",
+]

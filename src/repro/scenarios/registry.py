@@ -1,0 +1,164 @@
+"""Named scenario presets: the library of ready-to-run design points.
+
+Each preset is a :class:`~repro.scenarios.spec.ScenarioSpec` value —
+benign references, co-located single/double/K-sided hammering,
+Row-Press dwell, decoy closures, refresh-synchronized bursts, and
+multi-attacker saturation — so ``repro scenario run <name>`` and the
+sweep grids all draw from one table.  Attack timing parameters are
+derived from the paper's Table-I timings once, here, and stored in the
+spec as plain cycle counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dram.timing import default_cycle_timings
+from ..sim.config import DefenseConfig, SystemConfig
+from ..workloads.sources import AttackerSource
+from .spec import ScenarioSpec
+
+_TIMINGS = default_cycle_timings()
+
+#: Spacing between spaced row hits for dwell/decoy attackers: just
+#: under the controller's default idle-close timer, so the row stays
+#: open and the dwell is attacker-controlled.
+HOLD_GAP_CYCLES = 120
+
+#: Refresh-synchronized burst shape: ``burst_acts`` back-to-back ACTs,
+#: then silence for the rest of one tREFI.
+REFRESH_SYNC_BURST_ACTS = 40
+REFRESH_SYNC_IDLE_GAP = max(
+    0, _TIMINGS.tREFI - REFRESH_SYNC_BURST_ACTS * _TIMINGS.tRC
+)
+
+#: The defense most presets run under (the paper's headline scheme).
+_IMPRESS_P = DefenseConfig(tracker="graphene", scheme="impress-p")
+_IMPRESS_N = DefenseConfig(tracker="graphene", scheme="impress-n")
+_PARA_P = DefenseConfig(tracker="para", scheme="impress-p")
+
+
+def _presets() -> List[ScenarioSpec]:
+    """Build the preset table (kept in one place for docs and tests)."""
+    return [
+        ScenarioSpec.benign(
+            "mcf",
+            description="8 rate-mode mcf copies, no defense — the "
+                        "plain performance reference.",
+        ),
+        ScenarioSpec.benign(
+            "add_copy",
+            description="STREAM add/copy mix (4 cores each), no "
+                        "defense.",
+        ),
+        ScenarioSpec.benign(
+            "mcf",
+            defense=_IMPRESS_P,
+            name="benign_mcf_impress_p",
+            description="8 mcf copies under Graphene + ImPress-P: the "
+                        "defended-but-unattacked reference.",
+        ),
+        ScenarioSpec.colocated(
+            "colocated_hammer_mcf",
+            "mcf",
+            attackers=(
+                AttackerSource("hammer", bank=5, rows=(100, 102)),
+            ),
+            defense=_IMPRESS_P,
+            description="7 mcf victims + 1 double-sided Rowhammer "
+                        "attacker on bank 5, Graphene + ImPress-P.",
+        ),
+        ScenarioSpec.colocated(
+            "colocated_ksided_add",
+            "add",
+            attackers=(
+                AttackerSource("k_sided", bank=9, victim_row=200, k=8),
+            ),
+            defense=_IMPRESS_N,
+            description="7 STREAM-add victims + 1 eight-sided "
+                        "hammering attacker (Fig 17's K-pattern family) "
+                        "under Graphene + ImPress-N.",
+        ),
+        ScenarioSpec.colocated(
+            "colocated_dwell_mcf",
+            "mcf",
+            attackers=(
+                AttackerSource(
+                    "dwell", bank=7, rows=(300, 302),
+                    hold_gap_cycles=HOLD_GAP_CYCLES, hits_per_dwell=8,
+                ),
+            ),
+            defense=_IMPRESS_P,
+            description="7 mcf victims + 1 Row-Press dwell attacker "
+                        "holding aggressor rows open (Fig 2's tON axis) "
+                        "under Graphene + ImPress-P.",
+        ),
+        ScenarioSpec.colocated(
+            "colocated_decoy_mcf",
+            "mcf",
+            attackers=(
+                AttackerSource(
+                    "decoy", bank=3, rows=(400, 404),
+                    hold_gap_cycles=HOLD_GAP_CYCLES, hold_hits=2,
+                ),
+            ),
+            defense=_IMPRESS_N,
+            description="7 mcf victims + 1 decoy-closure attacker "
+                        "(Fig 10's evasion shape) against ImPress-N's "
+                        "window accounting.",
+        ),
+        ScenarioSpec.colocated(
+            "refresh_sync_hammer_mcf",
+            "mcf",
+            attackers=(
+                AttackerSource(
+                    "refresh_sync", bank=11, rows=(500, 502),
+                    burst_acts=REFRESH_SYNC_BURST_ACTS,
+                    idle_gap_cycles=REFRESH_SYNC_IDLE_GAP,
+                ),
+            ),
+            defense=_PARA_P,
+            description="7 mcf victims + 1 refresh-synchronized burst "
+                        "attacker riding the tREFI cadence against "
+                        "PARA's sampling.",
+        ),
+        ScenarioSpec.colocated(
+            "multi_attacker_saturation",
+            "mcf",
+            attackers=tuple(
+                AttackerSource("hammer", bank=bank, rows=(rows, rows + 2))
+                for bank, rows in ((8, 100), (16, 140), (24, 180),
+                                   (32, 220))
+            ),
+            defense=_IMPRESS_P,
+            description="4 mcf victims + 4 double-sided attackers on "
+                        "distinct banks: mitigation-throughput "
+                        "saturation under Graphene + ImPress-P.",
+        ),
+    ]
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec for spec in _presets()
+}
+
+
+def scenario_names() -> List[str]:
+    """Preset names, in definition order."""
+    return list(SCENARIOS)
+
+
+def is_scenario(name: str) -> bool:
+    """Whether ``name`` is a registered scenario preset."""
+    return name in SCENARIOS
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up one preset; raises KeyError with the known names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from: {known}"
+        ) from None

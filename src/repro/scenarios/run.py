@@ -1,0 +1,229 @@
+"""Scenario execution: simulate a spec, report security-aware metrics.
+
+:func:`run_scenario` simulates a scenario *and* its victim-only
+baseline through one :class:`~repro.experiments.common.SweepRunner`
+batch (so ``jobs > 1`` evaluates both legs across the persistent
+process pool, with results bit-identical to serial), then folds the
+two runs into a :class:`ScenarioReport` carrying the headline pair —
+victim slowdown and attacker ACT rate — next to the usual performance
+counters.
+
+:func:`run_scenario_cached` adds the disk artifact layer used by
+``repro scenario run``: one JSON per scenario under
+``<results-dir>/scenarios/``, keyed by a config hash, so re-running an
+unchanged scenario is a cache hit (the same contract the experiment
+orchestrator follows).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..experiments.common import SweepRunner
+from ..sim.metrics import attacker_act_rate, victim_slowdown
+from ..sim.stats import SimResult
+from .registry import get_scenario
+from .spec import ScenarioSpec
+
+#: Default requests per core for scenario runs (matches the experiment
+#: default, so scenario and figure sweeps share cache entries).
+DEFAULT_SCENARIO_REQUESTS = 800
+
+
+@dataclass
+class ScenarioReport:
+    """One scenario's simulated outcome plus its security metrics."""
+
+    spec: ScenarioSpec
+    result: SimResult
+    baseline: SimResult
+    n_requests: int
+    seed: int
+
+    @property
+    def victim_slowdown(self) -> Optional[float]:
+        """Mean victim slowdown vs. the idle-attacker baseline
+        (None for benign scenarios, which have no attacker leg)."""
+        attackers = self.spec.attacker_cores()
+        if not attackers:
+            return None
+        return victim_slowdown(self.result, self.baseline, attackers)
+
+    @property
+    def attacker_act_rate(self) -> Optional[float]:
+        """Attacker demand ACTs per elapsed DRAM cycle (None if benign)."""
+        attackers = self.spec.attacker_cores()
+        if not attackers:
+            return None
+        return attacker_act_rate(self.result, attackers)
+
+    @property
+    def attacker_acts_per_sec(self) -> Optional[float]:
+        """The ACT rate in activations per wall-clock second of DRAM
+        time, via the configured DRAM clock."""
+        rate = self.attacker_act_rate
+        if rate is None:
+            return None
+        freq_hz = self.spec.system.timings.clock.freq_ghz * 1e9
+        return rate * freq_hz
+
+    def to_json(self) -> dict:
+        """The results-artifact payload for this run."""
+        spec = self.spec
+        attackers = list(spec.attacker_cores())
+        return {
+            "scenario": spec.name,
+            "description": spec.description,
+            "cores": spec.core_summary(),
+            "defense": spec.defense_summary(),
+            "topology": {
+                "n_cores": spec.system.n_cores,
+                "channels": spec.system.channels,
+                "banks_per_channel": spec.system.banks_per_channel,
+            },
+            "n_requests": self.n_requests,
+            "seed": self.seed,
+            "attacker_cores": attackers,
+            "metrics": {
+                "victim_slowdown": self.victim_slowdown,
+                "attacker_act_rate_per_cycle": self.attacker_act_rate,
+                "attacker_acts_per_sec": self.attacker_acts_per_sec,
+                "elapsed_cycles": self.result.elapsed_cycles,
+                "hit_rate": self.result.hit_rate,
+                "demand_acts": self.result.counts.demand_acts,
+                "mitigative_acts": self.result.counts.mitigative_acts,
+                "rfms": self.result.counts.rfms,
+                "energy": self.result.energy().total,
+            },
+            "core_rates": self.result.core_rates(),
+            "core_demand_acts": list(self.result.core_demand_acts),
+            "baseline_core_rates": self.baseline.core_rates(),
+        }
+
+
+def run_scenario(
+    spec_or_name,
+    n_requests: Optional[int] = None,
+    seed: Optional[int] = None,
+    jobs: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> ScenarioReport:
+    """Simulate a scenario (by spec or preset name) plus its baseline.
+
+    Both legs go through ``runner.run_many`` so a passed-in runner
+    shares its cache with other sweeps and ``jobs > 1`` fans the legs
+    out in parallel.  A supplied runner must simulate the scenario's
+    topology (same ``system``) — and, because the runner's
+    ``n_requests``/``seed`` are part of its cache contract, any
+    explicitly passed values must match the runner's, or the cache
+    keys would lie.  Leave them as None to adopt the runner's (or the
+    defaults, when no runner is given).  A locally-created runner's
+    worker pool is shut down before returning.
+    """
+    spec = (
+        get_scenario(spec_or_name)
+        if isinstance(spec_or_name, str) else spec_or_name
+    )
+    local_runner = runner is None
+    if local_runner:
+        runner = SweepRunner(
+            system=spec.system,
+            n_requests=(
+                DEFAULT_SCENARIO_REQUESTS if n_requests is None
+                else n_requests
+            ),
+            seed=0 if seed is None else seed,
+            jobs=jobs,
+        )
+    else:
+        if runner.system != spec.system:
+            raise ValueError(
+                "runner simulates a different topology than the scenario"
+            )
+        if n_requests is not None and n_requests != runner.n_requests:
+            raise ValueError(
+                f"n_requests={n_requests} conflicts with the runner's "
+                f"fixed n_requests={runner.n_requests}"
+            )
+        if seed is not None and seed != runner.seed:
+            raise ValueError(
+                f"seed={seed} conflicts with the runner's fixed "
+                f"seed={runner.seed}"
+            )
+    baseline_spec = spec.baseline()
+    points = [spec.sweep_point(), baseline_spec.sweep_point()]
+    try:
+        result, baseline = runner.run_many(points, jobs=jobs)
+    finally:
+        if local_runner:
+            runner.close_pool()
+    return ScenarioReport(
+        spec=spec,
+        result=result,
+        baseline=baseline,
+        n_requests=runner.n_requests,
+        seed=runner.seed,
+    )
+
+
+# -- disk artifacts ------------------------------------------------------
+
+
+def scenario_config_hash(
+    spec: ScenarioSpec, n_requests: int, seed: int
+) -> str:
+    """Deterministic short hash identifying one scenario run recipe."""
+    canonical = json.dumps(
+        {
+            "spec": repr(spec),
+            "n_requests": n_requests,
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def scenario_artifact_path(results_dir: Path, name: str) -> Path:
+    """Where ``repro scenario run <name>`` stores its JSON artifact."""
+    return Path(results_dir) / "scenarios" / f"{name}.json"
+
+
+def run_scenario_cached(
+    spec_or_name,
+    results_dir: Path,
+    n_requests: int = DEFAULT_SCENARIO_REQUESTS,
+    seed: int = 0,
+    jobs: int = 1,
+    force: bool = False,
+) -> Tuple[dict, Path, bool]:
+    """Run a scenario with a disk-cached artifact.
+
+    Returns ``(payload, artifact_path, cached)``.  A matching artifact
+    (same scenario recipe hash) short-circuits the simulation unless
+    ``force`` is set; parallelism (``jobs``) is never part of the hash
+    because it cannot change results.
+    """
+    spec = (
+        get_scenario(spec_or_name)
+        if isinstance(spec_or_name, str) else spec_or_name
+    )
+    config_hash = scenario_config_hash(spec, n_requests, seed)
+    path = scenario_artifact_path(Path(results_dir), spec.name)
+    if not force and path.is_file():
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        if payload is not None and payload.get("config_hash") == config_hash:
+            return payload, path, True
+    report = run_scenario(spec, n_requests=n_requests, seed=seed, jobs=jobs)
+    payload = report.to_json()
+    payload["config_hash"] = config_hash
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload, path, False

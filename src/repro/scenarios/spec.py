@@ -1,0 +1,212 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is one point in the paper's full design space —
+*(per-core workloads × attackers × topology × defense)* — as a frozen,
+hashable value.  Because it is a value, it can key the
+:class:`~repro.experiments.common.SweepRunner` run cache, be expanded
+from grids, be pickled to worker processes, and be compared for
+equality; nothing about it executes until a runner simulates it.
+
+The per-core assignment is either
+
+* a workload name (``"mcf"``, ``"add_copy"``) — the legacy rate-mode
+  path, bit-identical to :func:`repro.sim.system.simulate_workload`
+  with the same string; or
+* a tuple of :mod:`repro.workloads.sources` objects, one per core —
+  benign profile copies, attack generators, and idle slots in any
+  combination.
+
+``spec.sweep_point()`` canonicalizes the spec into the
+``(workload, defense, tmro_ns)`` triple :class:`SweepRunner` caches on.
+Named workloads canonicalize to their plain string, so a scenario sweep
+and a legacy figure sweep of the same point share one cache entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple, Union
+
+from ..sim.config import DefenseConfig, SystemConfig
+from ..workloads.sources import (
+    AttackerSource,
+    CoreSources,
+    IdleSource,
+    ProfileSource,
+    TraceSource,
+    is_attacker,
+)
+from ..workloads.synthetic import per_core_profile_names
+
+#: The workload slot of a sweep point: a rate-mode name or core sources.
+WorkloadKey = Union[str, CoreSources]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative (workloads × attackers × topology × defense) point."""
+
+    name: str
+    cores: WorkloadKey
+    system: SystemConfig = field(default_factory=SystemConfig)
+    defense: Optional[DefenseConfig] = None
+    tmro_ns: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.cores, str):
+            # Validates the name and the core count in one shot.
+            per_core_profile_names(self.cores, self.system.n_cores)
+        else:
+            object.__setattr__(self, "cores", tuple(self.cores))
+            self.system.validate_sources(self.cores)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def benign(
+        cls,
+        workload: str,
+        system: Optional[SystemConfig] = None,
+        defense: Optional[DefenseConfig] = None,
+        tmro_ns: Optional[float] = None,
+        name: Optional[str] = None,
+        description: str = "",
+    ) -> "ScenarioSpec":
+        """A pure rate-mode scenario for one named workload."""
+        return cls(
+            name=name or f"benign_{workload}",
+            cores=workload,
+            system=system or SystemConfig(),
+            defense=defense,
+            tmro_ns=tmro_ns,
+            description=description,
+        )
+
+    @classmethod
+    def colocated(
+        cls,
+        name: str,
+        workload: str,
+        attackers: Tuple[AttackerSource, ...],
+        system: Optional[SystemConfig] = None,
+        defense: Optional[DefenseConfig] = None,
+        tmro_ns: Optional[float] = None,
+        description: str = "",
+    ) -> "ScenarioSpec":
+        """``workload`` on the leading cores, attackers on the trailing.
+
+        The benign cores keep the named workload's per-core profile
+        assignment (mixes split exactly as rate mode does over the full
+        core count), so the victim side of a co-located scenario stays
+        comparable to the corresponding benign run.
+        """
+        system = system or SystemConfig()
+        n_attackers = len(attackers)
+        if n_attackers >= system.n_cores:
+            raise ValueError("attackers must leave at least one victim core")
+        profiles = per_core_profile_names(workload, system.n_cores)
+        victims = tuple(
+            ProfileSource(profiles[core])
+            for core in range(system.n_cores - n_attackers)
+        )
+        return cls(
+            name=name,
+            cores=victims + tuple(attackers),
+            system=system,
+            defense=defense,
+            tmro_ns=tmro_ns,
+            description=description,
+        )
+
+    # -- derived views --------------------------------------------------
+
+    def sources(self) -> Optional[CoreSources]:
+        """The explicit per-core sources, or None for a named workload."""
+        return None if isinstance(self.cores, str) else self.cores
+
+    def attacker_cores(self) -> Tuple[int, ...]:
+        """Core ids running attack generators (empty when benign)."""
+        if isinstance(self.cores, str):
+            return ()
+        return tuple(
+            core for core, source in enumerate(self.cores)
+            if is_attacker(source)
+        )
+
+    def is_benign(self) -> bool:
+        """Whether no core runs an attack generator."""
+        return not self.attacker_cores()
+
+    def sweep_point(self):
+        """The ``(workload, defense, tmro_ns)`` SweepRunner cache triple."""
+        return (self.cores, self.defense, self.tmro_ns)
+
+    def baseline(self) -> "ScenarioSpec":
+        """The victim-only reference: attacker cores idled, rest equal.
+
+        Keeping the attacker cores (as idle slots) preserves core ids
+        and topology, so per-core metrics line up index-for-index with
+        the attacked run.  A benign scenario is its own baseline.
+        """
+        attackers = set(self.attacker_cores())
+        if not attackers:
+            return self
+        cores = tuple(
+            IdleSource() if core in attackers else source
+            for core, source in enumerate(self.cores)  # type: ignore[arg-type]
+        )
+        return replace(
+            self,
+            name=f"{self.name}@baseline",
+            cores=cores,
+            description=f"victim-only baseline of {self.name}",
+        )
+
+    def with_defense(
+        self,
+        defense: Optional[DefenseConfig],
+        tmro_ns: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> "ScenarioSpec":
+        """The same workloads/topology under another defense point."""
+        return replace(
+            self,
+            name=name or self.name,
+            defense=defense,
+            tmro_ns=tmro_ns,
+        )
+
+    def core_summary(self) -> str:
+        """Compact human-readable per-core composition."""
+        if isinstance(self.cores, str):
+            return f"{self.system.n_cores}x {self.cores} (rate mode)"
+        parts = []
+        run_start = 0
+        labels = [_source_label(source) for source in self.cores]
+        for core in range(1, len(labels) + 1):
+            if core == len(labels) or labels[core] != labels[run_start]:
+                count = core - run_start
+                label = labels[run_start]
+                parts.append(f"{count}x {label}" if count > 1 else label)
+                run_start = core
+        return " + ".join(parts)
+
+    def defense_summary(self) -> str:
+        """Compact defense description (tracker/scheme, tMRO)."""
+        if self.defense is None:
+            label = "unprotected"
+        else:
+            label = f"{self.defense.tracker}/{self.defense.scheme}"
+        if self.tmro_ns is not None:
+            label += f" tMRO={self.tmro_ns:.0f}ns"
+        return label
+
+
+def _source_label(source: TraceSource) -> str:
+    """One word per source for :meth:`ScenarioSpec.core_summary`."""
+    if isinstance(source, ProfileSource):
+        return source.profile
+    if isinstance(source, AttackerSource):
+        return f"{source.pattern}@b{source.bank}"
+    return "idle"

@@ -87,6 +87,30 @@ class SystemConfig:
             lines_per_row_group=self.lines_per_row_group,
         )
 
+    @property
+    def total_banks(self) -> int:
+        """Banks across all channels (the flat-bank id space)."""
+        return self.channels * self.banks_per_channel
+
+    def validate_sources(self, sources) -> None:
+        """Check a heterogeneous per-core assignment fits this machine.
+
+        ``sources`` is one trace source per core
+        (:data:`repro.workloads.sources.CoreSources`); the count must
+        match ``n_cores`` and any source pinned to a (channel, bank) —
+        attackers — must target hardware that exists.  Duck-typed via
+        ``validate_for`` so this layer needs no workload imports.
+        """
+        if len(sources) != self.n_cores:
+            raise ValueError(
+                f"need one trace source per core: got {len(sources)} "
+                f"sources for {self.n_cores} cores"
+            )
+        for source in sources:
+            validate = getattr(source, "validate_for", None)
+            if validate is not None:
+                validate(self.channels, self.banks_per_channel)
+
 
 @dataclass(frozen=True)
 class DefenseConfig:

@@ -1,4 +1,12 @@
-"""Performance metrics: weighted speedup and geometric means."""
+"""Performance metrics: weighted speedups, geomeans, scenario metrics.
+
+Beyond the paper's IPC-style metrics, this module carries the
+security-relevant pair every co-located scenario reports:
+:func:`victim_slowdown` (how much the attacker degrades the benign
+cores, against a baseline run where the attacker cores sit idle) and
+:func:`attacker_act_rate` (how many activations per cycle the attacker
+actually lands through the defended controller).
+"""
 
 from __future__ import annotations
 
@@ -40,6 +48,51 @@ def normalized_weighted_speedup(
 
 def geomean_over_workloads(per_workload: Dict[str, float]) -> float:
     return geomean(per_workload.values())
+
+
+def victim_slowdown(
+    result: SimResult,
+    baseline: SimResult,
+    attacker_cores: Sequence[int],
+) -> float:
+    """Mean slowdown of the non-attacker cores vs. the baseline run.
+
+    ``baseline`` is the same scenario with the attacker cores idle, so
+    per-core rates are directly comparable.  Each victim contributes
+    ``baseline_rate / attacked_rate`` (1.0 = unaffected, 2.0 = twice as
+    slow); the mean over victims is the scenario's headline slowdown.
+    """
+    rates = result.core_rates()
+    base_rates = baseline.core_rates()
+    if len(rates) != len(base_rates):
+        raise ValueError("core counts differ between runs")
+    attackers = set(attacker_cores)
+    victims = [core for core in range(len(rates)) if core not in attackers]
+    if not victims:
+        raise ValueError("scenario has no victim cores")
+    slowdowns = [
+        base_rates[core] / rates[core] if rates[core] > 0 else float("inf")
+        for core in victims
+    ]
+    return sum(slowdowns) / len(slowdowns)
+
+
+def attacker_act_rate(
+    result: SimResult, attacker_cores: Sequence[int]
+) -> float:
+    """Attacker-attributed demand ACTs per elapsed DRAM cycle.
+
+    This is the rate the attacker achieves *through* the defended
+    controller — mitigations, RFMs and queue contention all depress it
+    — summed over the attacker cores.  Multiply by the DRAM clock for
+    ACTs per second, or by tREFI cycles for ACTs per refresh interval.
+    """
+    if not result.core_demand_acts:
+        raise ValueError("run carries no per-core ACT attribution")
+    if not result.elapsed_cycles:
+        return 0.0
+    acts = sum(result.core_demand_acts[core] for core in attacker_cores)
+    return acts / result.elapsed_cycles
 
 
 def relative_acts(result: SimResult, baseline: SimResult) -> Dict[str, float]:

@@ -185,6 +185,7 @@ class ReferenceSimulator:
     def _collect(self, end_cycle: int) -> SimResult:
         counts = CommandCounts()
         hits = misses = conflicts = rfm_mitigations = tmro_closures = 0
+        core_acts = [0] * len(self.cores)
         for controller in self.controllers:
             counts = counts.merged_with(controller.counts)
             hits += controller.row_hits
@@ -192,6 +193,8 @@ class ReferenceSimulator:
             conflicts += controller.row_conflicts
             rfm_mitigations += controller.rfm_mitigations
             tmro_closures += controller.tmro_closures
+            for core_id, acts in controller.core_demand_acts.items():
+                core_acts[core_id] += acts
         return SimResult(
             elapsed_cycles=end_cycle,
             core_cycles=[
@@ -205,4 +208,5 @@ class ReferenceSimulator:
             row_conflicts=conflicts,
             rfm_mitigations=rfm_mitigations,
             tmro_closures=tmro_closures,
+            core_demand_acts=core_acts,
         )

@@ -59,6 +59,10 @@ class SimResult:
     row_conflicts: int = 0
     rfm_mitigations: int = 0
     tmro_closures: int = 0
+    #: Demand ACTs attributed to the core that triggered them (empty for
+    #: results predating the scenario subsystem).  Scenario metrics read
+    #: this to report attacker activation rates next to victim slowdown.
+    core_demand_acts: List[int] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -71,6 +75,12 @@ class SimResult:
             requests / cycles if cycles else 0.0
             for requests, cycles in zip(self.core_requests, self.core_cycles)
         ]
+
+    def core_act_rates(self) -> List[float]:
+        """Per-core demand ACTs per elapsed cycle (whole-run average)."""
+        if not self.core_demand_acts or not self.elapsed_cycles:
+            return [0.0] * len(self.core_requests)
+        return [acts / self.elapsed_cycles for acts in self.core_demand_acts]
 
     def energy(self) -> EnergyBreakdown:
         return energy_of(self.counts, self.elapsed_cycles)

@@ -322,6 +322,7 @@ class SystemSimulator:
     def _collect(self, end_cycle: int) -> SimResult:
         counts = CommandCounts()
         hits = misses = conflicts = rfm_mitigations = tmro_closures = 0
+        core_acts = [0] * len(self.cores)
         for controller in self.controllers:
             counts = counts.merged_with(controller.counts)
             hits += controller.row_hits
@@ -329,6 +330,8 @@ class SystemSimulator:
             conflicts += controller.row_conflicts
             rfm_mitigations += controller.rfm_mitigations
             tmro_closures += controller.tmro_closures
+            for core_id, acts in controller.core_demand_acts.items():
+                core_acts[core_id] += acts
         return SimResult(
             elapsed_cycles=end_cycle,
             core_cycles=[
@@ -342,29 +345,45 @@ class SystemSimulator:
             row_conflicts=conflicts,
             rfm_mitigations=rfm_mitigations,
             tmro_closures=tmro_closures,
+            core_demand_acts=core_acts,
         )
 
 
 def simulate_workload(
-    name: str,
+    name,
     defense: Optional[DefenseConfig] = None,
     system: Optional[SystemConfig] = None,
     n_requests_per_core: int = 2000,
     tmro_ns: Optional[float] = None,
     seed: int = 0,
 ) -> SimResult:
-    """Convenience wrapper: named workload, rate mode, one run.
+    """Convenience wrapper: one run of a workload against a defense.
 
-    Trace generation and address mapping are served from the process-
-    local compiled-trace cache, so consecutive calls with the same
-    workload recipe (a defense sweep) share one compiled trace set.
+    ``name`` is either a named rate-mode workload (a string — the
+    legacy single-workload path) or a heterogeneous per-core source
+    tuple (:data:`repro.workloads.sources.CoreSources`, one entry per
+    core — the scenario path).  Both forms are hashable, so both key the
+    process-local compiled-trace cache and the
+    :class:`~repro.experiments.common.SweepRunner` run cache directly;
+    consecutive calls with the same recipe (a defense sweep) share one
+    compiled trace set.
     """
-    from ..workloads.compiled import compiled_rate_mode_traces
+    from ..workloads.compiled import (
+        compiled_rate_mode_traces,
+        compiled_source_traces,
+    )
 
     system = system or SystemConfig()
-    compiled = compiled_rate_mode_traces(
-        name, system.n_cores, n_requests_per_core, seed, system.mapper()
-    )
+    if isinstance(name, str):
+        compiled = compiled_rate_mode_traces(
+            name, system.n_cores, n_requests_per_core, seed, system.mapper()
+        )
+    else:
+        sources = tuple(name)
+        system.validate_sources(sources)
+        compiled = compiled_source_traces(
+            sources, n_requests_per_core, seed, system.mapper()
+        )
     simulator = SystemSimulator(
         system, defense=defense, tmro_ns=tmro_ns, compiled=compiled
     )

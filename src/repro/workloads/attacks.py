@@ -7,7 +7,13 @@ Two layers:
   including the Fig-10 decoy pattern that exploits ImPress-N's window
   granularity and the parameterized K-pattern of Fig 17.
 * **Traces** feed the performance simulator: classic double-sided
-  hammering as a stream of row-conflicting reads.
+  hammering as a stream of row-conflicting reads, plus the scenario
+  subsystem's co-located attacker generators (K-sided hammering,
+  Row-Press dwell, decoy closure, refresh-synchronized bursts).  All
+  trace generators return ordinary :class:`~repro.workloads.trace.Trace`
+  objects, so they compile through
+  :class:`~repro.workloads.compiled.CompiledTrace` exactly like the
+  benign synthetic workloads.
 """
 
 from __future__ import annotations
@@ -184,6 +190,191 @@ def row_press_trace(
         requests.append(
             TraceRequest(
                 address=address, is_write=False, gap_cycles=hold_gap_cycles
+            )
+        )
+    return Trace(requests)
+
+
+def k_sided_rows(victim_row: int, k: int) -> List[int]:
+    """The K aggressor rows flanking ``victim_row`` (K-sided pattern).
+
+    Rows alternate around the victim at distance 1, 1, 3, 3, 5, ... so
+    K = 1 is single-sided, K = 2 the classic double-sided pair, and
+    larger K the many-sided patterns of Fig 17.  Rows below 0 are folded
+    to the other side, so small victim rows stay valid.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    rows: List[int] = []
+    distance = 1
+    while len(rows) < k:
+        below = victim_row - distance
+        rows.append(below if below >= 0 else victim_row + distance + 1)
+        if len(rows) < k:
+            rows.append(victim_row + distance)
+        distance += 2
+    return rows
+
+
+def k_sided_hammer_trace(
+    mapper: MopAddressMapper,
+    bank: int,
+    victim_row: int,
+    k: int,
+    n_requests: int,
+    channel: int = 0,
+    gap_cycles: int = 0,
+) -> Trace:
+    """K-sided hammering around one victim: round-robin over the K
+    flanking aggressor rows, every access a row conflict (ACT)."""
+    return hammer_trace(
+        mapper, bank, k_sided_rows(victim_row, k), n_requests,
+        channel=channel, gap_cycles=gap_cycles,
+    )
+
+
+def row_press_dwell_trace(
+    mapper: MopAddressMapper,
+    bank: int,
+    rows: List[int],
+    n_requests: int,
+    hold_gap_cycles: int,
+    hits_per_dwell: int,
+    channel: int = 0,
+) -> Trace:
+    """Row-Press dwell attack: hold each aggressor open, then switch.
+
+    Each dwell window opens the next row in ``rows`` (a row conflict
+    forces the previous one closed, charging its full tON to EACT), then
+    issues ``hits_per_dwell - 1`` further column hits spaced by
+    ``hold_gap_cycles`` so an open-page controller keeps the row open
+    for roughly ``hits_per_dwell * hold_gap_cycles`` cycles.  Sweeping
+    ``hold_gap_cycles`` / ``hits_per_dwell`` sweeps the dwell time the
+    way Fig 2's tON axis does — from hammer-like (short dwell, many
+    ACTs) to Row-Press-like (long dwell, few ACTs, large EACT).
+
+    ``hold_gap_cycles`` must stay below the controller's idle-close
+    timer or the dwell is cut short by the idle precharge.
+    """
+    if not rows:
+        raise ValueError("need at least one aggressor row")
+    if hits_per_dwell < 1:
+        raise ValueError("hits_per_dwell must be at least 1")
+    lines = mapper.lines_per_row_group
+    requests = []
+    dwell = 0
+    while len(requests) < n_requests:
+        row = rows[dwell % len(rows)]
+        for hit in range(hits_per_dwell):
+            if len(requests) >= n_requests:
+                break
+            requests.append(
+                TraceRequest(
+                    address=mapper.address_of(
+                        MappedAddress(
+                            channel=channel, bank=bank, row=row,
+                            column=hit % lines,
+                        )
+                    ),
+                    is_write=False,
+                    gap_cycles=0 if hit == 0 else hold_gap_cycles,
+                )
+            )
+        dwell += 1
+    return Trace(requests)
+
+
+def decoy_trace(
+    mapper: MopAddressMapper,
+    bank: int,
+    target_row: int,
+    decoy_row: int,
+    n_requests: int,
+    hold_gap_cycles: int,
+    hold_hits: int = 2,
+    channel: int = 0,
+) -> Trace:
+    """Trace analog of the Fig-10 decoy pattern for the system simulator.
+
+    Each round opens the target, keeps it open with ``hold_hits`` spaced
+    column hits (accumulating Row-Press dwell), then touches the decoy
+    row — the row conflict forces the target closed at a time chosen by
+    the attacker rather than by the controller's own timers.  The decoy
+    access itself is a brief single-ACT visit, mirroring how the timed
+    Fig-10 pattern hides the closure from window-boundary sampling.
+    """
+    if hold_hits < 1:
+        raise ValueError("hold_hits must be at least 1")
+    lines = mapper.lines_per_row_group
+    requests = []
+    while len(requests) < n_requests:
+        for hit in range(hold_hits + 1):
+            if len(requests) >= n_requests:
+                break
+            requests.append(
+                TraceRequest(
+                    address=mapper.address_of(
+                        MappedAddress(
+                            channel=channel, bank=bank, row=target_row,
+                            column=hit % lines,
+                        )
+                    ),
+                    is_write=False,
+                    gap_cycles=0 if hit == 0 else hold_gap_cycles,
+                )
+            )
+        if len(requests) < n_requests:
+            requests.append(
+                TraceRequest(
+                    address=mapper.address_of(
+                        MappedAddress(
+                            channel=channel, bank=bank, row=decoy_row,
+                            column=0,
+                        )
+                    ),
+                    is_write=False,
+                    gap_cycles=0,
+                )
+            )
+    return Trace(requests)
+
+
+def refresh_sync_hammer_trace(
+    mapper: MopAddressMapper,
+    bank: int,
+    rows: List[int],
+    n_requests: int,
+    burst_acts: int,
+    idle_gap_cycles: int,
+    channel: int = 0,
+) -> Trace:
+    """Refresh-synchronized hammering: bursts separated by long idles.
+
+    The attacker hammers ``burst_acts`` back-to-back conflicting
+    accesses, then sleeps ``idle_gap_cycles`` before the next burst —
+    with the idle gap chosen near tREFI the bursts ride the refresh
+    cadence, concentrating activations into the window a probabilistic
+    or windowed defense samples worst.
+    """
+    if not rows:
+        raise ValueError("need at least one aggressor row")
+    if burst_acts < 1:
+        raise ValueError("burst_acts must be at least 1")
+    if idle_gap_cycles < 0:
+        raise ValueError("idle_gap_cycles must be non-negative")
+    requests = []
+    for i in range(n_requests):
+        in_burst = i % burst_acts
+        gap = idle_gap_cycles if i > 0 and in_burst == 0 else 0
+        row = rows[i % len(rows)]
+        requests.append(
+            TraceRequest(
+                address=mapper.address_of(
+                    MappedAddress(channel=channel, bank=bank, row=row,
+                                  column=0)
+                ),
+                is_write=False,
+                gap_cycles=gap,
             )
         )
     return Trace(requests)

@@ -7,7 +7,7 @@ N defense configs repeated the identical work N times.  Compiling a
 trace once per ``(trace, mapper)`` pair turns the issue path into plain
 list indexing and lets every config in a sweep share the result.
 
-Two layers:
+Layers:
 
 * :func:`compile_trace` / :func:`compile_traces` — pure compilation of
   one trace (or one per-core set) against a mapper.
@@ -16,6 +16,9 @@ Two layers:
   ``(workload, n_cores, n_requests, seed, mapper geometry)``.  Trace
   generation is seeded and deterministic, so cache hits are bit-identical
   to regeneration.
+* :func:`compiled_source_traces` — the same cache for heterogeneous
+  per-core source tuples (:mod:`repro.workloads.sources`): benign
+  profile copies, attacker generators and idle cores in any mix.
 """
 
 from __future__ import annotations
@@ -137,6 +140,40 @@ def compiled_rate_mode_traces(
         return cached
     _stats.misses += 1
     traces = rate_mode_traces(name, n_cores, n_requests_per_core, seed)
+    compiled = compile_traces(traces, mapper)
+    _cache[key] = compiled
+    while len(_cache) > CACHE_MAX_ENTRIES:
+        _cache.popitem(last=False)
+    _stats.size = len(_cache)
+    return compiled
+
+
+def compiled_source_traces(
+    sources,
+    n_requests_per_core: int,
+    seed: int,
+    mapper: MopAddressMapper,
+) -> List[CompiledTrace]:
+    """Generate + compile a heterogeneous per-core source set, cached.
+
+    The scenario-layer sibling of :func:`compiled_rate_mode_traces`:
+    ``sources`` is a tuple of frozen
+    :mod:`repro.workloads.sources` objects (one per core), which is
+    hashable and fully determines trace generation, so it keys the same
+    process-local LRU cache.  A hit is bit-identical to regeneration.
+    """
+    from .sources import build_core_traces
+
+    key = ("sources", sources, n_requests_per_core, seed,
+           mapper_key(mapper))
+    cached = _cache.get(key)
+    if cached is not None:
+        _cache.move_to_end(key)
+        _stats.hits += 1
+        _stats.size = len(_cache)
+        return cached
+    _stats.misses += 1
+    traces = build_core_traces(sources, n_requests_per_core, seed, mapper)
     compiled = compile_traces(traces, mapper)
     _cache[key] = compiled
     while len(_cache) > CACHE_MAX_ENTRIES:

@@ -29,6 +29,14 @@ CORE_FOOTPRINT_LINES = 1 << 24
 #: Base-address separation between STREAM arrays, in lines.
 STREAM_ARRAY_STRIDE_LINES = 1 << 20
 
+#: Byte offset between consecutive rate-mode core copies: disjoint
+#: footprints plus a small row-group skew so the copies start in
+#: different banks (the footprint itself is a multiple of every bank
+#: count we use).  Shared with :mod:`repro.workloads.sources` so a
+#: per-core :class:`~repro.workloads.sources.ProfileSource` reproduces
+#: the rate-mode placement bit-identically.
+CORE_OFFSET_BYTES = (CORE_FOOTPRINT_LINES * 4 + 5 * 8) * LINE_BYTES
+
 
 def _geometric(rng: random.Random, mean: float) -> int:
     """Geometric run length with the given mean (at least 1)."""
@@ -122,33 +130,44 @@ def trace_for_profile(
     return spec_like_trace(profile, n_requests, seed)
 
 
-def rate_mode_traces(
-    name: str, n_cores: int, n_requests_per_core: int, seed: int = 0
-) -> List[Trace]:
-    """Per-core traces for a named workload in rate mode.
+def per_core_profile_names(name: str, n_cores: int) -> List[str]:
+    """The per-core profile assignment of a named rate-mode workload.
 
     SPEC and single-kernel STREAM workloads run ``n_cores`` identical
-    copies at disjoint address offsets; mixes split the cores between the
-    two component kernels (Section III-A: "two with 4 copies each").
+    copies; mixes split the cores between the two component kernels
+    (Section III-A: "two with 4 copies each").
     """
     if n_cores < 1:
         raise ValueError("n_cores must be positive")
-    # Disjoint footprints per core, plus a small row-group skew so the
-    # copies start in different banks (the footprint itself is a
-    # multiple of every bank count we use).
-    core_offset_bytes = (CORE_FOOTPRINT_LINES * 4 + 5 * 8) * LINE_BYTES
-    traces: List[Trace] = []
     if is_mix(name):
         first, second = mix_components(name)
         half = n_cores // 2
-        names = [first] * half + [second] * (n_cores - half)
-    else:
-        profile_for(name)  # validate early
-        names = [name] * n_cores
-    for core_id, core_name in enumerate(names):
-        profile = profile_for(core_name)
-        base = trace_for_profile(
-            profile, n_requests_per_core, seed=seed + core_id
-        )
-        traces.append(base.offset_by(core_id * core_offset_bytes))
-    return traces
+        return [first] * half + [second] * (n_cores - half)
+    profile_for(name)  # validate early
+    return [name] * n_cores
+
+
+def profile_core_trace(
+    name: str, core_id: int, n_requests: int, seed: int = 0
+) -> Trace:
+    """Core ``core_id``'s rate-mode trace for one named profile.
+
+    Exactly the recipe :func:`rate_mode_traces` uses per core — seed
+    ``seed + core_id``, address offset ``core_id * CORE_OFFSET_BYTES``
+    — so heterogeneous scenarios that assign profiles per core place
+    each copy bit-identically to the legacy single-workload path.
+    """
+    base = trace_for_profile(
+        profile_for(name), n_requests, seed=seed + core_id
+    )
+    return base.offset_by(core_id * CORE_OFFSET_BYTES)
+
+
+def rate_mode_traces(
+    name: str, n_cores: int, n_requests_per_core: int, seed: int = 0
+) -> List[Trace]:
+    """Per-core traces for a named workload in rate mode."""
+    return [
+        profile_core_trace(core_name, core_id, n_requests_per_core, seed)
+        for core_id, core_name in enumerate(per_core_profile_names(name, n_cores))
+    ]

@@ -6,12 +6,18 @@ from repro.dram.address import MopAddressMapper
 from repro.workloads.attacks import (
     TimedAccess,
     decoy_pattern_accesses,
+    decoy_trace,
     hammer_trace,
     k_pattern_accesses,
+    k_sided_hammer_trace,
+    k_sided_rows,
+    refresh_sync_hammer_trace,
     row_press_accesses,
+    row_press_dwell_trace,
     row_press_trace,
     rowhammer_accesses,
 )
+from repro.workloads.compiled import CompiledTrace
 
 
 class TestTimedAccess:
@@ -73,6 +79,27 @@ class TestKPattern:
         with pytest.raises(ValueError):
             k_pattern_accesses(5, 3, -1, timings)
 
+    def test_k1_holds_one_extra_trc(self, timings):
+        # K = 1 (the smallest dwell): each access stays open for
+        # tRAS + tRC and the loop takes 2 tRC.
+        accesses = k_pattern_accesses(5, 3, 1, timings)
+        for access in accesses:
+            assert access.open_cycles() == timings.tRAS + timings.tRC
+        assert (
+            accesses[1].act_cycle - accesses[0].act_cycle
+            == 2 * timings.tRC
+        )
+
+    def test_large_k_approaches_one_long_dwell(self, timings):
+        # A very large K degenerates toward pure Row-Press: nearly the
+        # whole (K+1) tRC loop is spent with the row open.
+        k = 1 << 10
+        accesses = k_pattern_accesses(5, 2, k, timings)
+        period = accesses[1].act_cycle - accesses[0].act_cycle
+        assert period == (k + 1) * timings.tRC
+        open_fraction = accesses[0].open_cycles() / period
+        assert open_fraction > 0.99
+
 
 class TestDecoyPattern:
     def test_target_open_for_trc_plus_tras(self, timings):
@@ -98,6 +125,151 @@ class TestDecoyPattern:
     def test_rejects_bad_lead(self, timings):
         with pytest.raises(ValueError):
             decoy_pattern_accesses(1, 2, 3, timings, lead_cycles=0)
+
+    def test_lead_window_boundaries(self, timings):
+        # The lead must land inside (0, tACT]: exactly tACT is the last
+        # cycle at which the boundary sample still misses the ACT.
+        edge = decoy_pattern_accesses(
+            1, 2, 2, timings, lead_cycles=timings.tACT
+        )
+        targets = [a for a in edge if a.row == 1]
+        for access in targets:
+            assert -access.act_cycle % timings.tRC == timings.tACT
+        with pytest.raises(ValueError):
+            decoy_pattern_accesses(
+                1, 2, 2, timings, lead_cycles=timings.tACT + 1
+            )
+
+    def test_phase_locked_to_the_window(self, timings):
+        # Every round's target ACT keeps the same phase within the tRC
+        # window — the evasion depends on the 3*tRC period being a
+        # whole number of windows.
+        accesses = decoy_pattern_accesses(1, 2, 5, timings)
+        phases = {
+            a.act_cycle % timings.tRC for a in accesses if a.row == 1
+        }
+        assert len(phases) == 1
+
+    def test_decoy_opens_exactly_at_target_close(self, timings):
+        accesses = decoy_pattern_accesses(1, 2, 4, timings)
+        for target, decoy in zip(accesses[0::2], accesses[1::2]):
+            assert decoy.act_cycle == target.close_cycle
+            assert decoy.open_cycles() == timings.tRAS
+
+
+class TestKSidedRows:
+    def test_k1_is_single_sided(self):
+        assert k_sided_rows(100, 1) == [99]
+
+    def test_k2_is_double_sided(self):
+        assert k_sided_rows(100, 2) == [99, 101]
+
+    def test_large_k_rows_are_distinct_and_spare_the_victim(self):
+        rows = k_sided_rows(100, 33)
+        assert len(rows) == 33
+        assert len(set(rows)) == 33
+        assert 100 not in rows
+        assert all(row >= 0 for row in rows)
+
+    def test_folds_below_zero(self):
+        rows = k_sided_rows(0, 4)
+        assert all(row >= 0 for row in rows)
+        assert len(set(rows)) == 4
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            k_sided_rows(100, 0)
+
+
+class TestScenarioTraceGenerators:
+    def setup_method(self):
+        self.mapper = MopAddressMapper()
+
+    def test_k_sided_trace_cycles_aggressors(self):
+        trace = k_sided_hammer_trace(
+            self.mapper, bank=3, victim_row=100, k=3, n_requests=6
+        )
+        mapped = [self.mapper.map_address(r.address) for r in trace]
+        assert [m.row for m in mapped] == [99, 101, 97, 99, 101, 97]
+        assert all(m.bank == 3 for m in mapped)
+
+    def test_dwell_trace_holds_then_switches(self):
+        trace = row_press_dwell_trace(
+            self.mapper, bank=3, rows=[10, 20], n_requests=8,
+            hold_gap_cycles=50, hits_per_dwell=4,
+        )
+        mapped = [self.mapper.map_address(r.address) for r in trace]
+        assert [m.row for m in mapped] == [10] * 4 + [20] * 4
+        # First access of each dwell is immediate (the conflicting
+        # ACT); the holds are spaced.
+        assert [r.gap_cycles for r in trace] == [0, 50, 50, 50] * 2
+
+    def test_dwell_trace_single_hit_is_hammering(self):
+        trace = row_press_dwell_trace(
+            self.mapper, bank=3, rows=[10, 20], n_requests=4,
+            hold_gap_cycles=50, hits_per_dwell=1,
+        )
+        mapped = [self.mapper.map_address(r.address) for r in trace]
+        assert [m.row for m in mapped] == [10, 20, 10, 20]
+        assert all(r.gap_cycles == 0 for r in trace)
+
+    def test_decoy_trace_round_shape(self):
+        trace = decoy_trace(
+            self.mapper, bank=3, target_row=10, decoy_row=30,
+            n_requests=8, hold_gap_cycles=40, hold_hits=2,
+        )
+        mapped = [self.mapper.map_address(r.address) for r in trace]
+        # Round = target ACT + 2 held hits + decoy closure.
+        assert [m.row for m in mapped] == [10, 10, 10, 30] * 2
+        assert [r.gap_cycles for r in trace] == [0, 40, 40, 0] * 2
+
+    def test_refresh_sync_trace_burst_then_idle(self):
+        trace = refresh_sync_hammer_trace(
+            self.mapper, bank=3, rows=[10, 20], n_requests=7,
+            burst_acts=3, idle_gap_cycles=5000,
+        )
+        gaps = [r.gap_cycles for r in trace]
+        assert gaps == [0, 0, 0, 5000, 0, 0, 5000]
+
+    def test_generators_validate_arguments(self):
+        with pytest.raises(ValueError):
+            row_press_dwell_trace(self.mapper, 0, [], 4, 50, 2)
+        with pytest.raises(ValueError):
+            row_press_dwell_trace(self.mapper, 0, [1], 4, 50, 0)
+        with pytest.raises(ValueError):
+            decoy_trace(self.mapper, 0, 1, 2, 4, 40, hold_hits=0)
+        with pytest.raises(ValueError):
+            refresh_sync_hammer_trace(self.mapper, 0, [1], 4, 0, 100)
+        with pytest.raises(ValueError):
+            refresh_sync_hammer_trace(self.mapper, 0, [1], 4, 2, -1)
+
+    @pytest.mark.parametrize("maker", [
+        lambda m: k_sided_hammer_trace(m, 2, 100, 5, 40),
+        lambda m: row_press_dwell_trace(m, 2, [10, 20], 40, 50, 4),
+        lambda m: decoy_trace(m, 2, 10, 30, 40, 40),
+        lambda m: refresh_sync_hammer_trace(m, 2, [10, 20], 40, 8, 5000),
+    ], ids=["k_sided", "dwell", "decoy", "refresh_sync"])
+    def test_compiled_trace_equivalence(self, maker):
+        # The attacker generators must compile exactly like benign
+        # traces: the CompiledTrace arrays match per-request
+        # map_address decomposition.
+        for mapper in (
+            MopAddressMapper(),
+            MopAddressMapper(channels=2, banks_per_channel=8),
+        ):
+            trace = maker(mapper)
+            compiled = CompiledTrace(trace, mapper)
+            for i, request in enumerate(trace):
+                mapped = mapper.map_address(request.address)
+                assert compiled.channels[i] == mapped.channel
+                assert compiled.banks[i] == mapped.bank
+                assert compiled.rows[i] == mapped.row
+                assert compiled.columns[i] == mapped.column
+                assert compiled.flat_banks[i] == (
+                    mapped.channel * mapper.banks_per_channel + mapped.bank
+                )
+                assert compiled.is_write[i] == request.is_write
+                assert compiled.gaps[i] == request.gap_cycles
 
 
 class TestTraceAttacks:

@@ -55,3 +55,70 @@ class TestCommands:
     def test_all_experiment_modules_registered(self):
         for name in ("fig3", "fig4", "fig13", "ablation", "all"):
             assert name in EXPERIMENT_MODULES
+
+    def test_simulate_accepts_mix_names(self, capsys):
+        code = main(
+            ["simulate", "add_copy", "--tracker", "graphene",
+             "--requests", "120"]
+        )
+        assert code == 0
+        assert "hit rate" in capsys.readouterr().out
+
+    def test_simulate_accepts_scenario_names(self, capsys):
+        code = main(["simulate", "colocated_hammer_mcf",
+                     "--requests", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "victim slowdown" in out
+        assert "attacker ACT rate" in out
+
+
+class TestScenarioCommands:
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "colocated_hammer_mcf" in out
+        assert "multi_attacker_saturation" in out
+
+    def test_scenario_run_unknown_name(self, capsys):
+        assert main(["scenario", "run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_scenario_run_writes_and_reuses_artifact(self, capsys, tmp_path):
+        argv = ["scenario", "run", "colocated_hammer_mcf",
+                "--requests", "60", "--results-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "simulated" in first
+        assert "victim slowdown" in first
+        assert (tmp_path / "scenarios"
+                / "colocated_hammer_mcf.json").is_file()
+        assert main(argv) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_scenario_run_benign(self, capsys, tmp_path):
+        assert main(["scenario", "run", "benign_mcf", "--requests", "60",
+                     "--results-dir", str(tmp_path)]) == 0
+        assert "benign scenario" in capsys.readouterr().out
+
+    def test_scenario_sweep(self, capsys):
+        code = main(
+            ["scenario", "sweep", "colocated_hammer_mcf",
+             "--trackers", "graphene", "--schemes", "impress-p,no-rp",
+             "--requests", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "graphene/impress-p" in out
+        assert "graphene/no-rp" in out
+
+    def test_scenario_sweep_unknown_tracker(self, capsys):
+        code = main(
+            ["scenario", "sweep", "colocated_hammer_mcf",
+             "--trackers", "bogus", "--requests", "60"]
+        )
+        assert code == 2

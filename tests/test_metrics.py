@@ -4,20 +4,23 @@ import pytest
 
 from repro.dram.commands import CommandCounts
 from repro.sim.metrics import (
+    attacker_act_rate,
     geomean,
     geomean_over_workloads,
     normalized_weighted_speedup,
     relative_acts,
+    victim_slowdown,
 )
 from repro.sim.stats import EnergyBreakdown, SimResult, energy_of
 
 
-def make_result(core_cycles, core_requests, **counts):
+def make_result(core_cycles, core_requests, core_demand_acts=(), **counts):
     return SimResult(
         elapsed_cycles=max(core_cycles),
         core_cycles=list(core_cycles),
         core_requests=list(core_requests),
         counts=CommandCounts(**counts),
+        core_demand_acts=list(core_demand_acts),
     )
 
 
@@ -68,6 +71,65 @@ class TestRelativeActs:
         base = make_result([100], [50])
         with pytest.raises(ValueError):
             relative_acts(base, base)
+
+
+class TestVictimSlowdown:
+    def test_unaffected_victims_give_one(self):
+        run = make_result([100, 100], [50, 50])
+        assert victim_slowdown(run, run, [1]) == pytest.approx(1.0)
+
+    def test_half_speed_victim_gives_two(self):
+        baseline = make_result([100, 100], [50, 50])
+        attacked = make_result([200, 100], [50, 50])
+        assert victim_slowdown(attacked, baseline, [1]) == pytest.approx(2.0)
+
+    def test_attacker_cores_are_excluded(self):
+        baseline = make_result([100, 100], [50, 50])
+        # Core 1 (the attacker) collapses, core 0 is unaffected: the
+        # metric must ignore the attacker's own slowdown.
+        attacked = make_result([100, 800], [50, 50])
+        assert victim_slowdown(attacked, baseline, [1]) == pytest.approx(1.0)
+
+    def test_stalled_victim_is_infinite(self):
+        baseline = make_result([100, 100], [50, 50])
+        attacked = make_result([0, 100], [0, 50])
+        assert victim_slowdown(attacked, baseline, [1]) == float("inf")
+
+    def test_needs_victims_and_matching_cores(self):
+        run = make_result([100, 100], [50, 50])
+        with pytest.raises(ValueError):
+            victim_slowdown(run, run, [0, 1])
+        other = make_result([100], [50])
+        with pytest.raises(ValueError):
+            victim_slowdown(run, other, [1])
+
+
+class TestAttackerActRate:
+    def test_rate_per_cycle(self):
+        run = make_result([1000, 1000], [50, 50],
+                          core_demand_acts=[10, 200])
+        assert attacker_act_rate(run, [1]) == pytest.approx(0.2)
+
+    def test_sums_over_attackers(self):
+        run = make_result([1000, 1000, 1000], [50, 50, 50],
+                          core_demand_acts=[10, 100, 150])
+        assert attacker_act_rate(run, [1, 2]) == pytest.approx(0.25)
+
+    def test_requires_attribution(self):
+        run = make_result([1000, 1000], [50, 50])
+        with pytest.raises(ValueError):
+            attacker_act_rate(run, [1])
+
+    def test_core_act_rates_view(self):
+        run = make_result([1000, 500], [50, 50],
+                          core_demand_acts=[100, 300])
+        assert run.core_act_rates() == [
+            pytest.approx(0.1), pytest.approx(0.3)
+        ]
+
+    def test_core_act_rates_without_attribution(self):
+        run = make_result([1000, 500], [50, 50])
+        assert run.core_act_rates() == [0.0, 0.0]
 
 
 class TestEnergyModel:

@@ -126,8 +126,19 @@ class TestMicrobenchEngines:
         assert {
             "ukernel_graphene", "ukernel_para", "ukernel_mithril",
             "ukernel_mint", "ukernel_prac", "ukernel_dsac",
-            "sweep_run_many",
+            "sweep_run_many", "colocated_attack",
         } <= names
+
+    def test_scenario_engine_row_runs(self):
+        from repro.bench import run_one, CANONICAL_BENCHMARKS
+
+        spec = next(
+            s for s in CANONICAL_BENCHMARKS if s.name == "colocated_attack"
+        )
+        assert spec.engine == "scenario"
+        result = run_one(spec, 60, 1)
+        assert result.cycles > 0
+        assert result.cycles_per_sec > 0
 
 
 class TestProfileCommand:

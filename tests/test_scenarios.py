@@ -1,0 +1,322 @@
+"""Tests for the scenario subsystem (spec, registry, grid, runner)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.common import SweepRunner
+from repro.scenarios import (
+    SCENARIOS,
+    ScenarioGrid,
+    ScenarioSpec,
+    get_scenario,
+    is_scenario,
+    run_scenario,
+    run_scenario_cached,
+    scenario_names,
+)
+from repro.scenarios.run import scenario_config_hash
+from repro.sim.config import DefenseConfig, SystemConfig
+from repro.sim.system import simulate_workload
+from repro.workloads.sources import (
+    AttackerSource,
+    IdleSource,
+    ProfileSource,
+)
+
+SMALL = SystemConfig(n_cores=2, banks_per_channel=8)
+DEFENSE = DefenseConfig(tracker="graphene", scheme="impress-p")
+REQUESTS = 120
+
+
+def small_colocated(defense=DEFENSE):
+    return ScenarioSpec.colocated(
+        "small", "mcf",
+        attackers=(AttackerSource("hammer", bank=2, rows=(50, 52)),),
+        system=SMALL, defense=defense,
+    )
+
+
+class TestScenarioSpec:
+    def test_hashable_value(self):
+        a = small_colocated()
+        b = small_colocated()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_named_workload_validated(self):
+        with pytest.raises(KeyError):
+            ScenarioSpec(name="x", cores="not_a_workload", system=SMALL)
+
+    def test_source_count_must_match_cores(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", cores=(ProfileSource("mcf"),), system=SMALL
+            )
+
+    def test_attacker_bank_must_exist(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x",
+                cores=(ProfileSource("mcf"),
+                       AttackerSource("hammer", bank=64)),
+                system=SMALL,
+            )
+
+    def test_colocated_needs_a_victim(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.colocated(
+                "x", "mcf",
+                attackers=(AttackerSource("hammer", bank=0),
+                           AttackerSource("hammer", bank=1)),
+                system=SMALL,
+            )
+
+    def test_attacker_cores_and_benign(self):
+        spec = small_colocated()
+        assert spec.attacker_cores() == (1,)
+        assert not spec.is_benign()
+        assert ScenarioSpec.benign("mcf", system=SMALL).is_benign()
+
+    def test_sweep_point_canonicalizes_named_workloads(self):
+        spec = ScenarioSpec.benign(
+            "mcf", system=SMALL, defense=DEFENSE, tmro_ns=96.0
+        )
+        assert spec.sweep_point() == ("mcf", DEFENSE, 96.0)
+
+    def test_baseline_idles_attackers_only(self):
+        spec = small_colocated()
+        baseline = spec.baseline()
+        assert baseline.cores[0] == ProfileSource("mcf")
+        assert baseline.cores[1] == IdleSource()
+        assert baseline.defense == spec.defense
+        assert baseline.attacker_cores() == ()
+
+    def test_benign_baseline_is_itself(self):
+        spec = ScenarioSpec.benign("mcf", system=SMALL)
+        assert spec.baseline() is spec
+
+    def test_with_defense_replaces_defense_point(self):
+        other = DefenseConfig(tracker="para", scheme="no-rp")
+        spec = small_colocated().with_defense(other, tmro_ns=96.0)
+        assert spec.defense == other
+        assert spec.tmro_ns == 96.0
+        assert spec.cores == small_colocated().cores
+
+    def test_core_summary_groups_runs(self):
+        assert small_colocated().core_summary() == "mcf + hammer@b2"
+        spec = ScenarioSpec.colocated(
+            "x", "mcf",
+            attackers=(AttackerSource("hammer", bank=2),),
+            system=SystemConfig(n_cores=4, banks_per_channel=8),
+        )
+        assert spec.core_summary() == "3x mcf + hammer@b2"
+
+    def test_mix_splits_victims_like_rate_mode(self):
+        spec = ScenarioSpec.colocated(
+            "x", "add_copy",
+            attackers=(AttackerSource("hammer", bank=2),),
+            system=SystemConfig(n_cores=8, banks_per_channel=8),
+        )
+        profiles = [s.profile for s in spec.cores[:-1]]
+        # Rate mode over 8 cores: 4x add then 4x copy; the attacker
+        # displaces the last copy core.
+        assert profiles == ["add"] * 4 + ["copy"] * 3
+
+
+class TestBenignEquivalence:
+    """A benign ScenarioSpec is bit-identical to the legacy path."""
+
+    def test_explicit_sources_match_legacy_single_workload(self):
+        legacy = simulate_workload(
+            "mcf", DEFENSE, SMALL, n_requests_per_core=REQUESTS
+        )
+        spec = ScenarioSpec(
+            name="explicit",
+            cores=(ProfileSource("mcf"), ProfileSource("mcf")),
+            system=SMALL,
+            defense=DEFENSE,
+        )
+        scenario = simulate_workload(
+            spec.cores, DEFENSE, SMALL, n_requests_per_core=REQUESTS
+        )
+        assert dataclasses.asdict(scenario) == dataclasses.asdict(legacy)
+
+    def test_mix_sources_match_legacy_mix(self):
+        legacy = simulate_workload(
+            "add_copy", None, SMALL, n_requests_per_core=REQUESTS
+        )
+        scenario = simulate_workload(
+            (ProfileSource("add"), ProfileSource("copy")),
+            None, SMALL, n_requests_per_core=REQUESTS,
+        )
+        assert dataclasses.asdict(scenario) == dataclasses.asdict(legacy)
+
+    def test_named_spec_shares_cache_entry_with_legacy_run(self):
+        runner = SweepRunner(system=SMALL, n_requests=REQUESTS)
+        spec = ScenarioSpec.benign("mcf", system=SMALL, defense=DEFENSE)
+        via_spec = runner.run_many([spec])[0]
+        assert runner.run("mcf", DEFENSE) is via_spec  # cache hit
+
+
+class TestRegistry:
+    def test_names_and_lookup(self):
+        names = scenario_names()
+        assert "colocated_hammer_mcf" in names
+        for name in names:
+            assert is_scenario(name)
+            assert get_scenario(name).name == name
+        assert not is_scenario("mcf")
+
+    def test_unknown_scenario_raises_with_choices(self):
+        with pytest.raises(KeyError, match="colocated_hammer_mcf"):
+            get_scenario("nope")
+
+    def test_presets_cover_the_attack_families(self):
+        patterns = set()
+        for spec in SCENARIOS.values():
+            sources = spec.sources() or ()
+            patterns.update(
+                source.pattern for source in sources
+                if isinstance(source, AttackerSource)
+            )
+        assert patterns >= {
+            "hammer", "k_sided", "dwell", "decoy", "refresh_sync"
+        }
+
+    def test_presets_are_simulable_values(self):
+        for spec in SCENARIOS.values():
+            hash(spec)
+            spec.baseline()
+            workload, defense, tmro = spec.sweep_point()
+            assert isinstance(workload, (str, tuple))
+
+    def test_multi_attacker_preset_has_four_attackers(self):
+        spec = get_scenario("multi_attacker_saturation")
+        assert len(spec.attacker_cores()) == 4
+
+
+class TestScenarioGrid:
+    def test_expansion_is_the_cross_product(self):
+        grid = ScenarioGrid.cross(
+            workloads=("mcf", "add"),
+            defenses=(None, DEFENSE),
+            tmros_ns=(None, 96.0),
+            system=SMALL,
+        )
+        assert len(grid) == 8
+        points = grid.sweep_points()
+        assert len(points) == 8
+        assert ("mcf", DEFENSE, 96.0) in points
+        assert ("add", None, None) in points
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError):
+            ScenarioGrid(workloads=())
+        with pytest.raises(ValueError):
+            ScenarioGrid(workloads=("mcf",), defense_points=())
+
+    def test_grid_specs_feed_run_many_directly(self):
+        runner = SweepRunner(system=SMALL, n_requests=REQUESTS)
+        spec = small_colocated()
+        grid = ScenarioGrid(
+            workloads=("mcf", spec.cores),
+            defense_points=((None, None), (DEFENSE, None)),
+            system=SMALL,
+            name="t",
+        )
+        results = runner.run_many(grid.expand())
+        assert len(results) == 4
+        assert runner.run("mcf", None) is results[0]
+
+    def test_parallel_equals_serial_for_scenario_grids(self):
+        spec = small_colocated()
+        grid = ScenarioGrid(
+            workloads=("mcf", spec.cores),
+            defense_points=((None, None), (DEFENSE, None)),
+            system=SMALL,
+            name="t",
+        )
+        serial = SweepRunner(system=SMALL, n_requests=REQUESTS)
+        serial_results = serial.run_many(grid.expand(), jobs=1)
+        parallel = SweepRunner(system=SMALL, n_requests=REQUESTS)
+        try:
+            parallel_results = parallel.run_many(grid.expand(), jobs=2)
+        finally:
+            parallel.close_pool()
+        for fast, slow in zip(parallel_results, serial_results):
+            assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+
+class TestRunScenario:
+    def test_report_carries_security_metrics(self):
+        report = run_scenario(small_colocated(), n_requests=REQUESTS)
+        assert report.victim_slowdown is not None
+        assert report.victim_slowdown > 0.5
+        assert report.attacker_act_rate > 0
+        assert report.attacker_acts_per_sec > 0
+        payload = report.to_json()
+        assert payload["attacker_cores"] == [1]
+        assert payload["metrics"]["victim_slowdown"] == (
+            report.victim_slowdown
+        )
+
+    def test_benign_scenario_reports_no_attack_metrics(self):
+        report = run_scenario(
+            ScenarioSpec.benign("mcf", system=SMALL), n_requests=REQUESTS
+        )
+        assert report.victim_slowdown is None
+        assert report.attacker_act_rate is None
+
+    def test_runner_topology_must_match(self):
+        runner = SweepRunner(system=SystemConfig(n_cores=4))
+        with pytest.raises(ValueError):
+            run_scenario(small_colocated(), runner=runner)
+
+    def test_preset_runs_by_name(self):
+        report = run_scenario(
+            "colocated_hammer_mcf", n_requests=60, jobs=1
+        )
+        assert report.spec.name == "colocated_hammer_mcf"
+        assert report.victim_slowdown is not None
+
+    def test_artifact_cache_roundtrip(self, tmp_path):
+        spec = small_colocated()
+        payload, path, cached = run_scenario_cached(
+            spec, tmp_path, n_requests=REQUESTS
+        )
+        assert not cached
+        assert path.is_file()
+        again, path2, cached2 = run_scenario_cached(
+            spec, tmp_path, n_requests=REQUESTS
+        )
+        assert cached2 and path2 == path
+        assert again == payload
+        # A different recipe misses; force re-simulates.
+        _, _, cached3 = run_scenario_cached(
+            spec, tmp_path, n_requests=REQUESTS + 1
+        )
+        assert not cached3
+        _, _, cached4 = run_scenario_cached(
+            spec, tmp_path, n_requests=REQUESTS + 1, force=True
+        )
+        assert not cached4
+
+    def test_config_hash_tracks_the_recipe(self):
+        spec = small_colocated()
+        base = scenario_config_hash(spec, 100, 0)
+        assert scenario_config_hash(spec, 100, 0) == base
+        assert scenario_config_hash(spec, 200, 0) != base
+        assert scenario_config_hash(spec, 100, 1) != base
+        other = spec.with_defense(None)
+        assert scenario_config_hash(other, 100, 0) != base
+
+    def test_artifact_is_valid_json_with_hash(self, tmp_path):
+        _, path, _ = run_scenario_cached(
+            small_colocated(), tmp_path, n_requests=REQUESTS
+        )
+        payload = json.loads(path.read_text())
+        assert payload["config_hash"]
+        assert payload["scenario"] == "small"
+        assert payload["metrics"]["attacker_act_rate_per_cycle"] > 0
