@@ -16,8 +16,9 @@ Commands:
   scenario preset) against one defense configuration.
 * ``scenario`` — the declarative scenario subsystem
   (see docs/scenarios.md): ``list`` the presets, ``run`` one preset
-  with security metrics and a cached results artifact, ``sweep`` a
-  preset grid across defense configurations.
+  with security metrics and a content-addressed results artifact,
+  ``sweep`` a preset grid across defense configurations, ``report``
+  a metric diff between two result stores/commits.
 * ``bench`` — time the canonical simulations and write a tracked
   ``BENCH_<n>.json`` throughput artifact (see docs/performance.md).
 """
@@ -266,6 +267,12 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_scenario_report(args: argparse.Namespace) -> int:
+    from .results.report import run_report
+
+    return run_report(Path(args.dir_a), Path(args.dir_b))
+
+
 def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
     from .experiments.common import SweepRunner
     from .scenarios import get_scenario
@@ -459,7 +466,8 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--results-dir", default="results",
         help="artifact/cache directory (default: results/; the "
-             "artifact lands in <dir>/scenarios/<name>.json)",
+             "artifact lands in the content-addressed store under "
+             "<dir>/store/, indexed by preset name)",
     )
     scenario_run.add_argument(
         "--force", action="store_true",
@@ -489,6 +497,20 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="requests per core")
     scenario_sweep.add_argument("--seed", type=int, default=0)
     scenario_sweep.set_defaults(func=_cmd_scenario_sweep)
+
+    scenario_report = scenario_sub.add_parser(
+        "report",
+        help="diff scenario metrics between two result stores "
+             "(results dirs or store roots; compare runs across "
+             "commits the way bench_compare --trajectory does)",
+    )
+    scenario_report.add_argument(
+        "dir_a", help="results dir or store root of side A"
+    )
+    scenario_report.add_argument(
+        "dir_b", help="results dir or store root of side B"
+    )
+    scenario_report.set_defaults(func=_cmd_scenario_report)
     return parser
 
 

@@ -11,9 +11,14 @@ and writes three kinds of artifacts under a results directory:
   timings, and the paper-vs-measured rows;
 * ``REPORT.md`` — the human-readable paper-vs-measured report.
 
-Results are also stored in a disk cache keyed on
-``(experiment name, config hash)`` so re-runs with the same options
-skip completed work; ``force=True`` bypasses the cache.
+Results are also cached in the content-addressed
+:class:`~repro.results.store.ResultStore` shared with the scenario
+artifacts (``<results-dir>/store/``): each experiment's outcome is a
+blob keyed by :func:`experiment_recipe` — the experiment name plus the
+full option dict — with the experiment name as an index alias, so
+re-runs with the same options skip completed work and runs with
+different options coexist instead of overwriting.  ``force=True``
+bypasses (and refreshes) the cache.
 
 Every experiment in this codebase is a deterministic function of its
 options (all randomness is seeded per bank from ``seed``), so a
@@ -45,10 +50,24 @@ from typing import (
 
 from . import registry
 from .registry import Experiment, RunContext
+from ..results.store import ResultStore, content_key, store_for
 
-#: Schema version embedded in artifacts; bump when the layout changes
-#: so stale cache entries are never misread.
+#: Schema version embedded in artifacts and cache recipes; bump when
+#: the layout changes so stale cache entries are never misread (the
+#: version is part of the cache recipe, so a bump changes every key).
 ARTIFACT_VERSION = 1
+
+
+def experiment_recipe(
+    name: str, options: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """The explicit dict one experiment outcome is content-addressed by."""
+    return {
+        "kind": "experiment",
+        "artifact_version": ARTIFACT_VERSION,
+        "experiment": name,
+        "options": dict(options),
+    }
 
 
 def jsonify(obj: Any) -> Any:
@@ -259,8 +278,9 @@ class Orchestrator:
     # -- paths and cache -------------------------------------------------
 
     @property
-    def cache_dir(self) -> Path:
-        return self.results_dir / "cache"
+    def store(self) -> ResultStore:
+        """The content-addressed cache (shared with scenario artifacts)."""
+        return store_for(self.results_dir)
 
     def options(self) -> Dict[str, Any]:
         return {
@@ -269,19 +289,11 @@ class Orchestrator:
             "seed": self.seed,
         }
 
-    def cache_path(self, experiment: Experiment) -> Path:
-        digest = registry.config_hash(self.options())
-        return self.cache_dir / f"{experiment.name}-{digest}.json"
-
     def _load_cached(self, experiment: Experiment) -> Optional[Outcome]:
-        path = self.cache_path(experiment)
-        if not path.exists():
-            return None
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        if data.get("version") != ARTIFACT_VERSION:
+        data = self.store.fetch(
+            experiment_recipe(experiment.name, self.options())
+        )
+        if data is None:
             return None
         config_hash = data.get("config_hash")
         if config_hash is None:
@@ -326,7 +338,6 @@ class Orchestrator:
                 to_run.append(experiment)
 
         failures: Dict[str, str] = {}
-        digest = registry.config_hash(self.options())
         payloads = [(e.name, self.options()) for e in to_run]
         for raw in self._execute_all(payloads):
             name = raw["name"]
@@ -340,7 +351,11 @@ class Orchestrator:
                 duration_s=raw["duration_s"],
                 summary=raw["summary"],
                 result=raw["result"],
-                config_hash=digest,
+                # One hashing scheme throughout: the artifact's
+                # config_hash IS its store content key.
+                config_hash=content_key(
+                    experiment_recipe(name, self.options())
+                ),
             )
             self._emit(f"[done]  {name}  {raw['duration_s']:.2f}s")
 
@@ -404,14 +419,15 @@ class Orchestrator:
     def _write_cache_entry(
         self, outcome: Outcome, options: Mapping[str, Any]
     ) -> None:
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        cache_path = self.cache_dir / (
-            f"{outcome.name}-{outcome.config_hash}.json"
+        # A fresh outcome overwrites any stale blob (the --force path);
+        # a cache-sourced outcome only dedups against the existing one.
+        self.store.put(
+            experiment_recipe(outcome.name, options),
+            outcome.artifact(options),
+            name=outcome.name,
+            kind="experiment",
+            overwrite=not outcome.cached,
         )
-        if not outcome.cached or not cache_path.exists():
-            cache_path.write_text(
-                json.dumps(outcome.artifact(options), indent=2)
-            )
 
     def _write_artifacts(self, report: RunReport) -> None:
         self.results_dir.mkdir(parents=True, exist_ok=True)

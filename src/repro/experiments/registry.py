@@ -27,9 +27,7 @@ the tail of a parallel run.
 
 from __future__ import annotations
 
-import hashlib
 import importlib
-import json
 from dataclasses import dataclass, field, fields
 from types import ModuleType
 from typing import (
@@ -255,9 +253,3 @@ def modules(experiments: Optional[Sequence[Experiment]] = None) -> List[ModuleTy
         if exp.module not in seen:
             seen[exp.module] = importlib.import_module(exp.module)
     return list(seen.values())
-
-
-def config_hash(options: Mapping[str, Any]) -> str:
-    """Deterministic short hash of an option mapping (cache key part)."""
-    canonical = json.dumps(options, sort_keys=True, default=str)
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]

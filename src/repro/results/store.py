@@ -1,0 +1,322 @@
+"""Content-addressed result-artifact store.
+
+Every run artifact in this repo — scenario runs, their victim-only
+baseline legs, orchestrated experiment results — is a deterministic
+function of an explicit *recipe*: the plain-data dict of everything
+that can change the numbers (spec fields, topology, defense,
+``n_requests``, ``seed``, ...).  The store keys blobs by a stable
+canonical-JSON hash of that recipe:
+
+* ``<root>/objects/<key>.json`` — one blob per distinct recipe,
+  holding the recipe and the result payload.  Writing the same recipe
+  twice stores one blob (dedup): N scenarios sharing one victim-only
+  baseline leg share one baseline blob.
+* ``<root>/index.json`` — the human layer: append-only entries mapping
+  names to content keys, with a timestamp and the git SHA of the code
+  that produced them.  Names are *aliases*, never identity — two runs
+  of the same preset with different seeds are two blobs and two index
+  entries, so neither overwrites the other.
+
+The hashing contract (:func:`canonical_json` / :func:`content_key`)
+is deliberately boring: sorted keys, no whitespace, finite floats
+only.  It must never be derived from ``repr`` of a Python object —
+cosmetic dataclass changes would silently invalidate every cache.
+``tests/test_scenarios.py`` pins a golden hash so a contract change
+cannot land unnoticed.
+
+Corruption is handled by construction: a blob that fails to parse (or
+whose embedded key disagrees with its filename) reads as a miss and is
+rewritten on the next ``put``; a corrupt index reads as empty and is
+rebuilt by the next alias write (blobs stay retrievable by key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+import os
+import subprocess
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Blob/index schema version; a bump makes every existing entry a miss
+#: so stale layouts are never misread.
+STORE_VERSION = 1
+
+
+def _check_finite(value: Any, path: str = "$") -> None:
+    """Reject non-finite floats anywhere in a payload, naming the path.
+
+    ``Infinity``/``NaN`` are not valid JSON; a payload carrying one
+    (e.g. a stalled victim's infinite slowdown) must be converted by
+    the caller *before* the store sees it — see
+    :meth:`repro.scenarios.run.ScenarioReport.to_json`.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValueError(
+            f"non-finite float at {path}: {value!r} is not storable JSON; "
+            "serialize it as null (with an explanatory flag) instead"
+        )
+    if isinstance(value, Mapping):
+        for key, child in value.items():
+            _check_finite(child, f"{path}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for i, child in enumerate(value):
+            _check_finite(child, f"{path}[{i}]")
+
+
+def canonical_json(value: Any) -> str:
+    """The stable canonical serialization hashes and blobs are built on.
+
+    Sorted keys, no whitespace, finite floats only — equal recipes
+    always produce byte-identical text, independent of dict insertion
+    order or dataclass ``repr`` cosmetics.
+    """
+    _check_finite(value)
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_key(recipe: Mapping[str, Any]) -> str:
+    """The content address of a recipe: sha256 of its canonical JSON."""
+    return hashlib.sha256(canonical_json(recipe).encode()).hexdigest()[:16]
+
+
+_GIT_SHA: Optional[str] = None
+
+
+def git_sha() -> str:
+    """Short SHA of the source tree producing artifacts ("unknown" if
+    git is unavailable); cached per process."""
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=10,
+                cwd=Path(__file__).resolve().parent,
+            )
+            sha = proc.stdout.strip()
+            _GIT_SHA = sha if proc.returncode == 0 and sha else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
+
+
+_TMP_COUNTER = itertools.count()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write via a sibling temp file + rename, so a crash mid-write
+    never leaves torn JSON behind (an interrupted index update would
+    otherwise read back as an empty index).  The temp name is unique
+    per process and call, so concurrent writers cannot race each
+    other's rename."""
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+    )
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """One content-addressed store rooted at a directory.
+
+    See the module docstring for the layout.  All read paths are
+    tolerant: missing, corrupt, or version-skewed files read as misses,
+    never as exceptions — the caller's contract is "recompute on miss".
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    @property
+    def objects_dir(self) -> Path:
+        """Where blobs live (``<root>/objects``)."""
+        return self.root / "objects"
+
+    @property
+    def index_path(self) -> Path:
+        """The name → key alias file (``<root>/index.json``)."""
+        return self.root / "index.json"
+
+    def blob_path(self, key: str) -> Path:
+        """The on-disk path of the blob addressed by ``key``."""
+        return self.objects_dir / f"{key}.json"
+
+    # -- blobs -----------------------------------------------------------
+
+    def put(
+        self,
+        recipe: Mapping[str, Any],
+        payload: Mapping[str, Any],
+        name: Optional[str] = None,
+        kind: str = "result",
+        meta: Optional[Mapping[str, Any]] = None,
+        overwrite: bool = False,
+    ) -> Tuple[str, Path, bool]:
+        """Store ``payload`` under ``recipe``'s content key.
+
+        Returns ``(key, blob_path, created)``.  An existing readable
+        blob for the same key is left untouched (``created=False``) —
+        that is the dedup guarantee — unless ``overwrite`` forces a
+        rewrite (``--force`` re-runs).  A corrupt blob is always
+        rewritten.  ``name`` additionally records an index alias with
+        ``kind`` and optional ``meta`` fields.
+        """
+        key = content_key(recipe)
+        blob = {
+            "version": STORE_VERSION,
+            "key": key,
+            "kind": kind,
+            "recipe": recipe,
+            "payload": payload,
+        }
+        _check_finite(blob)
+        path = self.blob_path(key)
+        created = overwrite or self._load_blob(key) is None
+        if created:
+            self.objects_dir.mkdir(parents=True, exist_ok=True)
+            _atomic_write(path, json.dumps(blob, indent=2, sort_keys=True,
+                                           allow_nan=False) + "\n")
+        if name is not None:
+            self.alias(name, key, kind, meta)
+        return key, path, created
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key`` (None on miss/corruption)."""
+        blob = self._load_blob(key)
+        return None if blob is None else blob.get("payload")
+
+    def fetch(self, recipe: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+        """The payload stored for ``recipe`` (None on miss/corruption)."""
+        return self.get(content_key(recipe))
+
+    def _load_blob(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.blob_path(key)
+        if not path.is_file():
+            return None
+        try:
+            blob = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(blob, dict)
+            or blob.get("version") != STORE_VERSION
+            or blob.get("key") != key
+        ):
+            return None
+        return blob
+
+    # -- index -----------------------------------------------------------
+
+    def entries(
+        self, name: Optional[str] = None, kind: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Index entries, oldest first, optionally filtered."""
+        entries = self._load_index()["entries"]
+        if name is not None:
+            entries = [e for e in entries if e.get("name") == name]
+        if kind is not None:
+            entries = [e for e in entries if e.get("kind") == kind]
+        return entries
+
+    def latest(self, name: str) -> Optional[Dict[str, Any]]:
+        """The most recently recorded entry for ``name`` (None if none)."""
+        entries = self.entries(name=name)
+        return entries[-1] if entries else None
+
+    def names(self, kind: Optional[str] = None) -> List[str]:
+        """Distinct aliased names (of one ``kind``), first-seen order."""
+        return list(dict.fromkeys(
+            e["name"] for e in self.entries(kind=kind) if "name" in e
+        ))
+
+    def _load_index(self) -> Dict[str, Any]:
+        try:
+            data = json.loads(self.index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {"version": STORE_VERSION, "entries": []}
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != STORE_VERSION
+            or not isinstance(data.get("entries"), list)
+        ):
+            return {"version": STORE_VERSION, "entries": []}
+        return data
+
+    def alias(
+        self,
+        name: str,
+        key: str,
+        kind: str,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record a name → key entry (re-recording refreshes in place).
+
+        Cache-hit paths call this too, so a lost or corrupt index is
+        rebuilt incrementally by ordinary re-runs — blobs are the
+        durable layer, the index is always reconstructible.
+        """
+        entry: Dict[str, Any] = {
+            "name": name,
+            "key": key,
+            "kind": kind,
+            "timestamp": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "git_sha": git_sha(),
+        }
+        if meta:
+            entry["meta"] = dict(meta)
+        with self._index_lock():
+            index = self._load_index()
+            index["entries"] = [
+                e for e in index["entries"]
+                if not (e.get("name") == name and e.get("key") == key)
+            ]
+            index["entries"].append(entry)
+            _atomic_write(
+                self.index_path, json.dumps(index, indent=2) + "\n"
+            )
+
+    @contextmanager
+    def _index_lock(self) -> Iterator[None]:
+        """Serialize index read-modify-writes across processes.
+
+        Concurrent writers into one results dir (``repro run`` next to
+        ``repro scenario run``) would otherwise lose each other's
+        alias entries.  POSIX advisory lock on a sidecar file; a no-op
+        where ``fcntl`` is unavailable (blobs are unaffected either
+        way, and a lost alias self-heals on the next re-run).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.root / "index.lock", "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def store_for(results_dir: Path) -> ResultStore:
+    """The shared store under a results directory (``<dir>/store``).
+
+    Scenario artifacts and the experiment orchestrator's cache live in
+    this one store; their recipes carry distinct ``kind`` tags, so keys
+    cannot collide across subsystems.
+    """
+    return ResultStore(Path(results_dir) / "store")

@@ -19,6 +19,9 @@ from .run import (
     ScenarioReport,
     run_scenario,
     run_scenario_cached,
+    scenario_baseline_recipe,
+    scenario_config_hash,
+    scenario_run_recipe,
 )
 from .spec import ScenarioSpec
 
@@ -32,5 +35,8 @@ __all__ = [
     "is_scenario",
     "run_scenario",
     "run_scenario_cached",
+    "scenario_baseline_recipe",
+    "scenario_config_hash",
     "scenario_names",
+    "scenario_run_recipe",
 ]

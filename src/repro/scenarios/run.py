@@ -8,23 +8,32 @@ two runs into a :class:`ScenarioReport` carrying the headline pair —
 victim slowdown and attacker ACT rate — next to the usual performance
 counters.
 
-:func:`run_scenario_cached` adds the disk artifact layer used by
-``repro scenario run``: one JSON per scenario under
-``<results-dir>/scenarios/``, keyed by a config hash, so re-running an
-unchanged scenario is a cache hit (the same contract the experiment
-orchestrator follows).
+:func:`run_scenario_cached` adds the artifact layer used by
+``repro scenario run``: blobs in the content-addressed
+:class:`~repro.results.store.ResultStore` under
+``<results-dir>/store/``, keyed by the run's explicit recipe
+(:func:`scenario_run_recipe` — spec fields, topology, defense,
+``n_requests``, ``seed``; never ``repr``), so re-running an unchanged
+recipe is a cache hit, two runs of one preset with different seeds are
+two retrievable blobs, and the victim-only baseline leg shared by N
+scenarios is stored once (the same store the experiment orchestrator
+caches into).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..experiments.common import SweepRunner
-from ..sim.metrics import attacker_act_rate, victim_slowdown
+from ..results.store import content_key, store_for
+from ..sim.metrics import (
+    attacker_act_rate,
+    stalled_victim_cores,
+    victim_slowdown,
+)
 from ..sim.stats import SimResult
 from .registry import get_scenario
 from .spec import ScenarioSpec
@@ -71,10 +80,30 @@ class ScenarioReport:
         freq_hz = self.spec.system.timings.clock.freq_ghz * 1e9
         return rate * freq_hz
 
+    @property
+    def stalled_victims(self) -> Tuple[int, ...]:
+        """Victim cores with zero throughput under attack (their
+        slowdown is infinite; empty for benign scenarios)."""
+        attackers = self.spec.attacker_cores()
+        if not attackers:
+            return ()
+        return stalled_victim_cores(self.result, attackers)
+
     def to_json(self) -> dict:
-        """The results-artifact payload for this run."""
+        """The results-artifact payload for this run.
+
+        Strict JSON by construction: a stalled victim makes
+        ``victim_slowdown`` infinite, which is serialized as ``null``
+        with the stalled cores listed in ``stalled_victims`` (the
+        store additionally rejects any non-finite float at write
+        time).  The baseline leg's data is *not* inlined — it lives in
+        its own deduplicated store blob (:meth:`baseline_json`).
+        """
         spec = self.spec
         attackers = list(spec.attacker_cores())
+        slowdown = self.victim_slowdown
+        if slowdown is not None and not math.isfinite(slowdown):
+            slowdown = None
         return {
             "scenario": spec.name,
             "description": spec.description,
@@ -88,8 +117,9 @@ class ScenarioReport:
             "n_requests": self.n_requests,
             "seed": self.seed,
             "attacker_cores": attackers,
+            "stalled_victims": list(self.stalled_victims),
             "metrics": {
-                "victim_slowdown": self.victim_slowdown,
+                "victim_slowdown": slowdown,
                 "attacker_act_rate_per_cycle": self.attacker_act_rate,
                 "attacker_acts_per_sec": self.attacker_acts_per_sec,
                 "elapsed_cycles": self.result.elapsed_cycles,
@@ -101,7 +131,30 @@ class ScenarioReport:
             },
             "core_rates": self.result.core_rates(),
             "core_demand_acts": list(self.result.core_demand_acts),
-            "baseline_core_rates": self.baseline.core_rates(),
+        }
+
+    def baseline_json(self) -> dict:
+        """The victim-only baseline leg's store payload.
+
+        Deliberately name-free: the payload is a pure function of the
+        baseline's recipe, so every scenario sharing the same baseline
+        leg (same victims, topology, defense, run shape) produces a
+        byte-identical blob and the store keeps exactly one copy.
+        """
+        baseline_spec = self.spec.baseline()
+        return {
+            "cores": baseline_spec.core_summary(),
+            "defense": baseline_spec.defense_summary(),
+            "metrics": {
+                "elapsed_cycles": self.baseline.elapsed_cycles,
+                "hit_rate": self.baseline.hit_rate,
+                "demand_acts": self.baseline.counts.demand_acts,
+                "mitigative_acts": self.baseline.counts.mitigative_acts,
+                "rfms": self.baseline.counts.rfms,
+                "energy": self.baseline.energy().total,
+            },
+            "core_rates": self.baseline.core_rates(),
+            "core_demand_acts": list(self.baseline.core_demand_acts),
         }
 
 
@@ -170,27 +223,54 @@ def run_scenario(
     )
 
 
-# -- disk artifacts ------------------------------------------------------
+# -- store artifacts -----------------------------------------------------
+
+
+def scenario_run_recipe(
+    spec: ScenarioSpec, n_requests: int, seed: int
+) -> Dict[str, Any]:
+    """The explicit field dict identifying one scenario run.
+
+    This — not ``repr(spec)`` — is the canonical form artifacts are
+    content-addressed by: :meth:`~repro.scenarios.spec.ScenarioSpec.recipe`
+    spells out cores/topology/defense/tMRO as plain data, and the run
+    shape (``n_requests``, ``seed``) rides alongside.  Parallelism
+    (``jobs``) is never part of it because it cannot change results.
+    """
+    return {
+        "kind": "scenario-run",
+        "scenario": spec.recipe(),
+        "n_requests": n_requests,
+        "seed": seed,
+    }
+
+
+def scenario_baseline_recipe(
+    spec: ScenarioSpec, n_requests: int, seed: int
+) -> Dict[str, Any]:
+    """The recipe of a scenario's victim-only baseline *leg* blob.
+
+    Deliberately a distinct ``kind`` from :func:`scenario_run_recipe`:
+    a leg blob holds the reduced :meth:`ScenarioReport.baseline_json`
+    payload, so it must never collide with a full run artifact of an
+    identical spec (someone running the victims-plus-idle composition
+    as a scenario in its own right).  Payload shape is a function of
+    the recipe kind — that is the store's no-collision contract.
+    """
+    recipe = scenario_run_recipe(spec.baseline(), n_requests, seed)
+    recipe["kind"] = "scenario-baseline"
+    return recipe
 
 
 def scenario_config_hash(
     spec: ScenarioSpec, n_requests: int, seed: int
 ) -> str:
-    """Deterministic short hash identifying one scenario run recipe."""
-    canonical = json.dumps(
-        {
-            "spec": repr(spec),
-            "n_requests": n_requests,
-            "seed": seed,
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    """Deterministic short hash (content key) of one scenario run.
 
-
-def scenario_artifact_path(results_dir: Path, name: str) -> Path:
-    """Where ``repro scenario run <name>`` stores its JSON artifact."""
-    return Path(results_dir) / "scenarios" / f"{name}.json"
+    Pinned by a golden-hash test (``tests/test_scenarios.py``) so a
+    refactor cannot silently invalidate every stored artifact.
+    """
+    return content_key(scenario_run_recipe(spec, n_requests, seed))
 
 
 def run_scenario_cached(
@@ -201,29 +281,52 @@ def run_scenario_cached(
     jobs: int = 1,
     force: bool = False,
 ) -> Tuple[dict, Path, bool]:
-    """Run a scenario with a disk-cached artifact.
+    """Run a scenario against the content-addressed result store.
 
-    Returns ``(payload, artifact_path, cached)``.  A matching artifact
-    (same scenario recipe hash) short-circuits the simulation unless
-    ``force`` is set; parallelism (``jobs``) is never part of the hash
-    because it cannot change results.
+    Returns ``(payload, blob_path, cached)``.  The blob is keyed by
+    :func:`scenario_config_hash`, so runs of the same preset with
+    different ``n_requests``/``seed``/defense are distinct artifacts —
+    the preset name is only an index alias.  A matching blob
+    short-circuits the simulation unless ``force`` is set.  The
+    victim-only baseline leg is stored as its own blob keyed by *its*
+    recipe, so N scenarios sharing one baseline store it once; the
+    scenario payload references it via ``baseline_key``.
     """
     spec = (
         get_scenario(spec_or_name)
         if isinstance(spec_or_name, str) else spec_or_name
     )
-    config_hash = scenario_config_hash(spec, n_requests, seed)
-    path = scenario_artifact_path(Path(results_dir), spec.name)
-    if not force and path.is_file():
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            payload = None
-        if payload is not None and payload.get("config_hash") == config_hash:
-            return payload, path, True
+    store = store_for(Path(results_dir))
+    recipe = scenario_run_recipe(spec, n_requests, seed)
+    key = content_key(recipe)
+    run_meta = {"n_requests": n_requests, "seed": seed}
+    if not force:
+        payload = store.get(key)
+        if payload is not None:
+            # Re-record the aliases: a lost/corrupt index is rebuilt
+            # by cache hits, not only by fresh simulations.
+            store.alias(spec.name, key, "scenario", run_meta)
+            baseline_key = payload.get("baseline_key")
+            if baseline_key is not None:
+                store.alias(
+                    f"{spec.name}@baseline", baseline_key,
+                    "scenario-baseline", run_meta,
+                )
+            return payload, store.blob_path(key), True
     report = run_scenario(spec, n_requests=n_requests, seed=seed, jobs=jobs)
     payload = report.to_json()
-    payload["config_hash"] = config_hash
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    payload["config_hash"] = key
+    if not spec.is_benign():
+        payload["baseline_key"], _, _ = store.put(
+            scenario_baseline_recipe(spec, n_requests, seed),
+            report.baseline_json(),
+            name=f"{spec.name}@baseline",
+            kind="scenario-baseline",
+            meta=run_meta,
+            overwrite=force,
+        )
+    _, path, _ = store.put(
+        recipe, payload, name=spec.name, kind="scenario",
+        meta=run_meta, overwrite=force,
+    )
     return payload, path, False

@@ -24,8 +24,8 @@ and a legacy figure sweep of the same point share one cache entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple, Union
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..sim.config import DefenseConfig, SystemConfig
 from ..workloads.sources import (
@@ -141,6 +141,31 @@ class ScenarioSpec:
     def sweep_point(self):
         """The ``(workload, defense, tmro_ns)`` SweepRunner cache triple."""
         return (self.cores, self.defense, self.tmro_ns)
+
+    def recipe(self) -> Dict[str, Any]:
+        """The explicit field dict content-addressed artifacts key on.
+
+        Everything that can change simulated numbers is spelled out —
+        per-core sources, the full topology (including timings), the
+        defense point, tMRO — as plain JSON-typed data.  ``name`` and
+        ``description`` are deliberately *excluded*: they are aliases,
+        not physics, so renaming a preset never invalidates artifacts
+        and scenarios sharing one victim-only baseline leg share one
+        stored blob.  Never key on ``repr``: cosmetic dataclass changes
+        would silently shift every hash.
+        """
+        if isinstance(self.cores, str):
+            cores: Any = self.cores
+        else:
+            cores = [source.recipe() for source in self.cores]
+        return {
+            "cores": cores,
+            "system": asdict(self.system),
+            "defense": (
+                None if self.defense is None else asdict(self.defense)
+            ),
+            "tmro_ns": self.tmro_ns,
+        }
 
     def baseline(self) -> "ScenarioSpec":
         """The victim-only reference: attacker cores idled, rest equal.

@@ -11,7 +11,7 @@ actually lands through the defended controller).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Sequence, Tuple
 
 from .stats import SimResult
 
@@ -75,6 +75,25 @@ def victim_slowdown(
         for core in victims
     ]
     return sum(slowdowns) / len(slowdowns)
+
+
+def stalled_victim_cores(
+    result: SimResult, attacker_cores: Sequence[int]
+) -> Tuple[int, ...]:
+    """Victim cores that made no progress under attack (rate == 0).
+
+    A stalled victim makes :func:`victim_slowdown` infinite — which is
+    honest arithmetic but not valid JSON.  Serialization layers emit
+    the slowdown as ``null`` plus this explicit core list instead
+    (:meth:`repro.scenarios.run.ScenarioReport.to_json`), and the
+    result store rejects non-finite floats outright.
+    """
+    attackers = set(attacker_cores)
+    rates = result.core_rates()
+    return tuple(
+        core for core in range(len(rates))
+        if core not in attackers and rates[core] == 0.0
+    )
 
 
 def attacker_act_rate(

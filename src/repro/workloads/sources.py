@@ -30,8 +30,8 @@ process-local compiled cache in front of it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple, Union
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Tuple, Union
 
 from ..dram.address import MopAddressMapper
 from .attacks import (
@@ -60,6 +60,10 @@ class ProfileSource:
     def __post_init__(self) -> None:
         profile_for(self.profile)  # validate the name early
 
+    def recipe(self) -> Dict[str, Any]:
+        """Explicit field dict for content-addressed artifact keys."""
+        return {"kind": "profile", "profile": self.profile}
+
     def build(
         self, core_id: int, n_requests: int, seed: int,
         mapper: MopAddressMapper,
@@ -71,6 +75,10 @@ class ProfileSource:
 @dataclass(frozen=True)
 class IdleSource:
     """A core that issues no memory traffic (scenario baselines)."""
+
+    def recipe(self) -> Dict[str, Any]:
+        """Explicit field dict for content-addressed artifact keys."""
+        return {"kind": "idle"}
 
     def build(
         self, core_id: int, n_requests: int, seed: int,
@@ -127,6 +135,17 @@ class AttackerSource:
             )
         if self.bank < 0 or self.channel < 0:
             raise ValueError("bank and channel must be non-negative")
+
+    def recipe(self) -> Dict[str, Any]:
+        """Explicit field dict for content-addressed artifact keys.
+
+        Every parameter field is included (even ones the selected
+        pattern ignores), so the dict — unlike ``repr`` — is a stable
+        function of the declared fields alone.
+        """
+        fields = asdict(self)
+        fields["rows"] = list(fields["rows"])
+        return {"kind": "attacker", **fields}
 
     def validate_for(self, channels: int, banks_per_channel: int) -> None:
         """Reject targets outside the simulated topology."""

@@ -10,9 +10,11 @@ from repro.experiments.orchestrator import (
     Orchestrator,
     OrchestratorError,
     _execute,
+    experiment_recipe,
     jsonify,
 )
 from repro.experiments.registry import PAPER_TAG, Experiment, RunContext
+from repro.results import store_for
 
 EXPERIMENT_DIR = Path(registry.__file__).parent
 #: Modules that host experiments (everything except the plumbing).
@@ -98,6 +100,13 @@ class TestCache:
         defaults.update(kwargs)
         return Orchestrator(**defaults)
 
+    def cache_blob(self, tmp_path, name="table1"):
+        """The store blob backing one experiment's cache entry."""
+        store = store_for(tmp_path)
+        entry = store.latest(name)
+        assert entry is not None, f"{name} has no store entry"
+        return store.blob_path(entry["key"])
+
     def test_miss_then_hit(self, tmp_path):
         first = self.make(tmp_path).run(only=["table1"])
         assert [o.cached for o in first.outcomes] == [False]
@@ -114,24 +123,37 @@ class TestCache:
         self.make(tmp_path, n_requests=40).run(only=["table1"])
         other = self.make(tmp_path, n_requests=41).run(only=["table1"])
         assert [o.cached for o in other.outcomes] == [False]
-        assert len(list((tmp_path / "cache").glob("table1-*.json"))) == 2
+        store = store_for(tmp_path)
+        keys = {
+            e["key"]
+            for e in store.entries(name="table1", kind="experiment")
+        }
+        assert len(keys) == 2
+        for key in keys:  # both coexist: no overwrite across options
+            assert store.get(key) is not None
 
     def test_cache_missing_config_hash_is_a_miss(self, tmp_path):
         self.make(tmp_path).run(only=["table1"])
-        cache_file = next((tmp_path / "cache").glob("table1-*.json"))
-        data = json.loads(cache_file.read_text())
-        del data["config_hash"]
-        cache_file.write_text(json.dumps(data))
+        blob_path = self.cache_blob(tmp_path)
+        blob = json.loads(blob_path.read_text())
+        del blob["payload"]["config_hash"]
+        blob_path.write_text(json.dumps(blob))
         again = self.make(tmp_path).run(only=["table1"])
         assert [o.cached for o in again.outcomes] == [False]
 
     def test_corrupt_cache_is_a_miss(self, tmp_path):
         orchestrator = self.make(tmp_path)
         orchestrator.run(only=["table1"])
-        cache_file = next((tmp_path / "cache").glob("table1-*.json"))
-        cache_file.write_text("{ not json")
+        self.cache_blob(tmp_path).write_text("{ not json")
         again = self.make(tmp_path).run(only=["table1"])
         assert [o.cached for o in again.outcomes] == [False]
+
+    def test_cache_recipe_is_explicit_not_repr(self, tmp_path):
+        self.make(tmp_path).run(only=["table1"])
+        blob = json.loads(self.cache_blob(tmp_path).read_text())
+        assert blob["recipe"] == experiment_recipe(
+            "table1", {"quick": True, "n_requests": 40, "seed": 0}
+        )
 
     def test_artifacts_written(self, tmp_path):
         self.make(tmp_path).run(only=["table1", "fig18"])
@@ -220,7 +242,7 @@ class TestFailureHandling:
             orchestrator.run(only=["boom", "table1"])
         # table1 completed before boom's failure surfaced; its result
         # must be cached so a retry only recomputes the failure.
-        assert list((tmp_path / "cache").glob("table1-*.json"))
+        assert store_for(tmp_path).latest("table1") is not None
         retry = Orchestrator(results_dir=tmp_path, jobs=1,
                              n_requests=40).run(only=["table1"])
         assert [o.cached for o in retry.outcomes] == [True]

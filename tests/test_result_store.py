@@ -1,0 +1,329 @@
+"""Tests for the content-addressed result store (repro.results)."""
+
+import json
+
+import pytest
+
+from repro.experiments.orchestrator import Orchestrator, experiment_recipe
+from repro.results import (
+    ResultStore,
+    canonical_json,
+    content_key,
+    store_for,
+)
+from repro.results.report import compare_stores, resolve_store
+from repro.scenarios import (
+    run_scenario_cached,
+    scenario_baseline_recipe,
+    scenario_run_recipe,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.config import DefenseConfig, SystemConfig
+from repro.workloads.sources import AttackerSource
+
+SMALL = SystemConfig(n_cores=2, banks_per_channel=8)
+DEFENSE = DefenseConfig(tracker="graphene", scheme="impress-p")
+REQUESTS = 120
+
+RECIPE = {"kind": "test", "x": 1, "y": [1, 2, 3]}
+PAYLOAD = {"metrics": {"a": 1.5}, "note": "hello"}
+
+
+def colocated(pattern="hammer", bank=2):
+    """A small co-located spec; hammer/dwell variants share a baseline."""
+    if pattern == "hammer":
+        attacker = AttackerSource("hammer", bank=bank, rows=(50, 52))
+    else:
+        attacker = AttackerSource("dwell", bank=bank, rows=(60, 62))
+    return ScenarioSpec.colocated(
+        f"small_{pattern}", "mcf", attackers=(attacker,),
+        system=SMALL, defense=DEFENSE,
+    )
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_key_order_does_not_matter(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_tuples_serialize_as_lists(self):
+        assert canonical_json({"t": (1, 2)}) == canonical_json({"t": [1, 2]})
+
+    def test_rejects_non_finite_with_path(self):
+        with pytest.raises(ValueError, match=r"\$\.metrics\[1\]"):
+            canonical_json({"metrics": [1.0, float("inf")]})
+        with pytest.raises(ValueError, match="non-finite"):
+            content_key({"x": float("nan")})
+
+
+class TestBlobs:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key, path, created = store.put(RECIPE, PAYLOAD)
+        assert created
+        assert path.is_file()
+        assert key == content_key(RECIPE)
+        assert store.get(key) == PAYLOAD
+        assert store.fetch(RECIPE) == PAYLOAD
+        assert store.get("0" * 16) is None
+
+    def test_second_put_dedups(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _, path, _ = store.put(RECIPE, PAYLOAD)
+        before = path.read_text()
+        key, path2, created = store.put(RECIPE, PAYLOAD)
+        assert not created
+        assert path2 == path
+        assert path.read_text() == before
+
+    def test_overwrite_rewrites(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(RECIPE, PAYLOAD)
+        _, _, created = store.put(
+            RECIPE, {"metrics": {"a": 2.0}}, overwrite=True
+        )
+        assert created
+        assert store.fetch(RECIPE)["metrics"]["a"] == 2.0
+
+    def test_corrupt_blob_reads_as_miss_and_is_rewritten(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key, path, _ = store.put(RECIPE, PAYLOAD)
+        path.write_text("{ not json")
+        assert store.get(key) is None
+        _, _, created = store.put(RECIPE, PAYLOAD)
+        assert created
+        assert store.get(key) == PAYLOAD
+
+    def test_key_mismatch_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key, path, _ = store.put(RECIPE, PAYLOAD)
+        blob = json.loads(path.read_text())
+        blob["key"] = "deadbeefdeadbeef"
+        path.write_text(json.dumps(blob))
+        assert store.get(key) is None
+
+    def test_non_finite_payload_rejected_at_write(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="non-finite"):
+            store.put(RECIPE, {"metrics": {"slowdown": float("inf")}})
+        assert store.fetch(RECIPE) is None
+
+
+class TestIndex:
+    def test_alias_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key, _, _ = store.put(
+            RECIPE, PAYLOAD, name="run_a", kind="scenario",
+            meta={"seed": 0},
+        )
+        entry = store.latest("run_a")
+        assert entry["key"] == key
+        assert entry["kind"] == "scenario"
+        assert entry["meta"] == {"seed": 0}
+        assert entry["timestamp"]
+        assert entry["git_sha"]
+        assert store.names(kind="scenario") == ["run_a"]
+
+    def test_two_recipes_one_name_both_retrievable(self, tmp_path):
+        """The overwrite bug fix: names alias, content keys identify."""
+        store = ResultStore(tmp_path)
+        key0, _, _ = store.put(
+            {**RECIPE, "seed": 0}, {"seed": 0}, name="run"
+        )
+        key1, _, _ = store.put(
+            {**RECIPE, "seed": 1}, {"seed": 1}, name="run"
+        )
+        assert key0 != key1
+        assert store.get(key0) == {"seed": 0}
+        assert store.get(key1) == {"seed": 1}
+        assert [e["key"] for e in store.entries(name="run")] == [key0, key1]
+        assert store.latest("run")["key"] == key1
+
+    def test_realiasing_same_key_does_not_duplicate(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(RECIPE, PAYLOAD, name="run")
+        store.put(RECIPE, PAYLOAD, name="run")
+        assert len(store.entries(name="run")) == 1
+
+    def test_corrupt_index_reads_empty_and_rebuilds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key, _, _ = store.put(RECIPE, PAYLOAD, name="run")
+        store.index_path.write_text("not json at all")
+        assert store.entries() == []
+        assert store.get(key) == PAYLOAD  # blobs survive index loss
+        store.put({**RECIPE, "v": 2}, PAYLOAD, name="run2")
+        assert store.names() == ["run2"]
+
+
+class TestScenarioStoreIntegration:
+    def test_distinct_seeds_are_distinct_artifacts(self, tmp_path):
+        spec = colocated()
+        _, path0, _ = run_scenario_cached(
+            spec, tmp_path, n_requests=REQUESTS, seed=0
+        )
+        _, path1, _ = run_scenario_cached(
+            spec, tmp_path, n_requests=REQUESTS, seed=1
+        )
+        assert path0 != path1
+        assert path0.is_file() and path1.is_file()
+        store = store_for(tmp_path)
+        keys = {e["key"] for e in store.entries(name=spec.name)}
+        assert len(keys) == 2
+        for seed, key in ((0, path0.stem), (1, path1.stem)):
+            payload = store.get(key)
+            assert payload["seed"] == seed
+
+    def test_shared_baseline_leg_stored_once(self, tmp_path):
+        """N scenarios with identical victim sides share one baseline blob."""
+        hammer, dwell = colocated("hammer"), colocated("dwell")
+        assert hammer.baseline().recipe() == dwell.baseline().recipe()
+        run_scenario_cached(hammer, tmp_path, n_requests=REQUESTS)
+        run_scenario_cached(dwell, tmp_path, n_requests=REQUESTS)
+        store = store_for(tmp_path)
+        baselines = store.entries(kind="scenario-baseline")
+        assert {e["name"] for e in baselines} == {
+            "small_hammer@baseline", "small_dwell@baseline"
+        }
+        assert len({e["key"] for e in baselines}) == 1  # one blob
+        scenarios = store.entries(kind="scenario")
+        assert len({e["key"] for e in scenarios}) == 2
+        # Both payloads reference the shared blob.
+        for entry in scenarios:
+            payload = store.get(entry["key"])
+            assert payload["baseline_key"] == baselines[0]["key"]
+            assert store.get(payload["baseline_key"]) is not None
+
+    def test_recipe_is_explicit_fields_not_repr(self):
+        recipe = scenario_run_recipe(colocated(), REQUESTS, 0)
+        text = canonical_json(recipe)
+        assert "ScenarioSpec(" not in text
+        assert recipe["scenario"]["system"]["n_cores"] == 2
+        assert recipe["scenario"]["defense"]["tracker"] == "graphene"
+        assert recipe["scenario"]["cores"][1]["kind"] == "attacker"
+        assert recipe["n_requests"] == REQUESTS
+
+    def test_baseline_leg_never_collides_with_a_full_run(self, tmp_path):
+        """Running a scenario's victims-plus-idle composition as a
+        scenario in its own right must not hit the reduced baseline-leg
+        blob: the leg recipe carries a distinct kind."""
+        spec = colocated()
+        as_scenario = spec.baseline()
+        assert scenario_baseline_recipe(spec, REQUESTS, 0) != (
+            scenario_run_recipe(as_scenario, REQUESTS, 0)
+        )
+        run_scenario_cached(spec, tmp_path, n_requests=REQUESTS)
+        payload, _, cached = run_scenario_cached(
+            as_scenario, tmp_path, n_requests=REQUESTS
+        )
+        assert not cached  # the leg blob is not a run artifact
+        assert payload["config_hash"]  # full run payload shape
+        assert payload["scenario"] == as_scenario.name
+
+    def test_cache_hit_rebuilds_a_lost_index(self, tmp_path):
+        spec = colocated()
+        run_scenario_cached(spec, tmp_path, n_requests=REQUESTS)
+        store = store_for(tmp_path)
+        store.index_path.unlink()
+        _, _, cached = run_scenario_cached(
+            spec, tmp_path, n_requests=REQUESTS
+        )
+        assert cached  # blobs are the durable layer ...
+        names = {e["name"] for e in store.entries()}
+        assert names == {spec.name, f"{spec.name}@baseline"}
+
+    def test_no_temp_files_linger(self, tmp_path):
+        run_scenario_cached(colocated(), tmp_path, n_requests=REQUESTS)
+        assert not list((tmp_path / "store").rglob("*.tmp"))
+
+
+class TestOrchestratorCacheParity:
+    """The store-backed cache keeps the pre-refactor layer's contract."""
+
+    def make(self, tmp_path, **kwargs):
+        defaults = dict(results_dir=tmp_path, jobs=1, n_requests=40)
+        defaults.update(kwargs)
+        return Orchestrator(**defaults)
+
+    def test_miss_then_hit_then_force(self, tmp_path):
+        first = self.make(tmp_path).run(only=["table1"])
+        assert [o.cached for o in first.outcomes] == [False]
+        second = self.make(tmp_path).run(only=["table1"])
+        assert [o.cached for o in second.outcomes] == [True]
+        assert second.outcomes[0].result == first.outcomes[0].result
+        forced = self.make(tmp_path, force=True).run(only=["table1"])
+        assert [o.cached for o in forced.outcomes] == [False]
+
+    def test_option_change_is_a_new_blob_not_an_overwrite(self, tmp_path):
+        self.make(tmp_path, n_requests=40).run(only=["table1"])
+        self.make(tmp_path, n_requests=41).run(only=["table1"])
+        store = store_for(tmp_path)
+        entries = store.entries(name="table1", kind="experiment")
+        assert len({e["key"] for e in entries}) == 2
+        for entry in entries:
+            assert store.get(entry["key"]) is not None
+        # The older options still hit their own cache entry.
+        again = self.make(tmp_path, n_requests=40).run(only=["table1"])
+        assert [o.cached for o in again.outcomes] == [True]
+
+    def test_shares_one_store_with_scenarios(self, tmp_path):
+        self.make(tmp_path).run(only=["table1"])
+        run_scenario_cached(colocated(), tmp_path, n_requests=REQUESTS)
+        store = store_for(tmp_path)
+        kinds = {e["kind"] for e in store.entries()}
+        assert {"experiment", "scenario", "scenario-baseline"} <= kinds
+
+    def test_recipe_carries_version_and_options(self, tmp_path):
+        recipe = experiment_recipe("table1", {"quick": True})
+        assert recipe["kind"] == "experiment"
+        assert recipe["artifact_version"] >= 1
+        assert recipe["options"] == {"quick": True}
+
+
+class TestReport:
+    def fill(self, root, seed):
+        run_scenario_cached(
+            colocated(), root, n_requests=REQUESTS, seed=seed
+        )
+
+    def test_compare_two_stores(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        self.fill(a, 0)
+        self.fill(b, 1)
+        rows, only_a, only_b, mismatched = compare_stores(
+            resolve_store(a), resolve_store(b)
+        )
+        assert only_a == [] and only_b == []
+        metrics = {row["metric"] for row in rows}
+        assert "victim_slowdown" in metrics
+        assert "attacker_act_rate_per_cycle" in metrics
+        for row in rows:
+            assert row["scenario"] == "small_hammer"
+        # Different seeds are a run-shape mismatch worth flagging.
+        assert [m["scenario"] for m in mismatched] == ["small_hammer"]
+        assert mismatched[0]["meta_a"] == {"n_requests": REQUESTS,
+                                           "seed": 0}
+        assert mismatched[0]["meta_b"] == {"n_requests": REQUESTS,
+                                           "seed": 1}
+
+    def test_same_shape_runs_are_not_flagged(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        self.fill(a, 0)
+        self.fill(b, 0)
+        rows, _, _, mismatched = compare_stores(
+            resolve_store(a), resolve_store(b)
+        )
+        assert rows and mismatched == []
+
+    def test_resolve_store_accepts_dir_or_root(self, tmp_path):
+        self.fill(tmp_path, 0)
+        via_dir = resolve_store(tmp_path)
+        via_root = resolve_store(tmp_path / "store")
+        assert via_dir.root == via_root.root
+
+    def test_empty_stores_are_not_comparable(self, tmp_path):
+        rows, _, _, _ = compare_stores(
+            resolve_store(tmp_path / "x"), resolve_store(tmp_path / "y")
+        )
+        assert rows == []

@@ -16,8 +16,10 @@ from repro.scenarios import (
     run_scenario_cached,
     scenario_names,
 )
-from repro.scenarios.run import scenario_config_hash
+from repro.results import store_for
+from repro.scenarios.run import ScenarioReport, scenario_config_hash
 from repro.sim.config import DefenseConfig, SystemConfig
+from repro.sim.stats import SimResult
 from repro.sim.system import simulate_workload
 from repro.workloads.sources import (
     AttackerSource,
@@ -312,11 +314,77 @@ class TestRunScenario:
         other = spec.with_defense(None)
         assert scenario_config_hash(other, 100, 0) != base
 
+    def test_config_hash_ignores_name_and_description(self):
+        """Names are index aliases, not physics: renaming a preset must
+        not orphan its artifacts (and baseline legs must dedup across
+        differently-named scenarios)."""
+        spec = small_colocated()
+        renamed = dataclasses.replace(
+            spec, name="renamed", description="cosmetic"
+        )
+        assert scenario_config_hash(renamed, 100, 0) == (
+            scenario_config_hash(spec, 100, 0)
+        )
+
+    def test_config_hash_golden(self):
+        """The hashing contract, pinned.
+
+        If this fails, the canonical recipe form changed and every
+        stored artifact/cache entry is invalidated.  That can be a
+        legitimate consequence (e.g. a new field on SystemConfig or
+        AttackerSource now rightly enters the recipe) — update the
+        golden value then — but it must never happen as a silent side
+        effect of a refactor; ``repr``-derived keys did exactly that.
+        """
+        spec = ScenarioSpec.colocated(
+            "golden", "mcf",
+            attackers=(AttackerSource("hammer", bank=2, rows=(50, 52)),),
+            system=SystemConfig(n_cores=2, banks_per_channel=8),
+            defense=DefenseConfig(tracker="graphene", scheme="impress-p"),
+        )
+        assert scenario_config_hash(spec, 100, 0) == "9b8483b9ce09692e"
+
     def test_artifact_is_valid_json_with_hash(self, tmp_path):
         _, path, _ = run_scenario_cached(
             small_colocated(), tmp_path, n_requests=REQUESTS
         )
-        payload = json.loads(path.read_text())
-        assert payload["config_hash"]
+        blob = json.loads(path.read_text())
+        payload = blob["payload"]
+        assert blob["key"] == payload["config_hash"] == path.stem
         assert payload["scenario"] == "small"
         assert payload["metrics"]["attacker_act_rate_per_cycle"] > 0
+        assert payload["stalled_victims"] == []
+        index = json.loads((tmp_path / "store" / "index.json").read_text())
+        names = {entry["name"] for entry in index["entries"]}
+        assert names == {"small", "small@baseline"}
+
+    def test_stalled_victim_serializes_as_null_with_flag(self):
+        """An infinite slowdown must never reach JSON as ``Infinity``."""
+        spec = small_colocated()
+        stalled = SimResult(
+            elapsed_cycles=1000, core_cycles=[1000, 1000],
+            core_requests=[0, 80], core_demand_acts=[0, 40],
+        )
+        baseline = SimResult(
+            elapsed_cycles=1000, core_cycles=[500, 0],
+            core_requests=[80, 0], core_demand_acts=[40, 0],
+        )
+        report = ScenarioReport(
+            spec=spec, result=stalled, baseline=baseline,
+            n_requests=80, seed=0,
+        )
+        assert report.victim_slowdown == float("inf")
+        assert report.stalled_victims == (0,)
+        payload = report.to_json()
+        assert payload["metrics"]["victim_slowdown"] is None
+        assert payload["stalled_victims"] == [0]
+        text = json.dumps(payload, allow_nan=False)  # strict JSON
+        assert "Infinity" not in text
+
+    def test_store_rejects_non_finite_metrics(self, tmp_path):
+        store = store_for(tmp_path)
+        with pytest.raises(ValueError, match="non-finite"):
+            store.put(
+                {"kind": "scenario-run", "x": 1},
+                {"metrics": {"victim_slowdown": float("inf")}},
+            )
