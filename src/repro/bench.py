@@ -73,6 +73,10 @@ class BenchSpec:
       by ``workload`` (its own topology and defense; see
       ``repro scenario list``), measuring the engine under co-located
       attacker traffic; ``cycles`` are simulated DRAM cycles.
+    * ``"scenario-invariants"`` — the same scenario preset run under an
+      attached :class:`~repro.security.invariants.InvariantMonitor`
+      with periodic checkpoints, so the cost of online checking is a
+      tracked number rather than a guess.
     """
 
     name: str
@@ -148,6 +152,9 @@ CANONICAL_BENCHMARKS: Sequence[BenchSpec] = (
     BenchSpec("colocated_attack", "colocated_hammer_mcf",
               tracker="graphene", scheme="impress-p", n_cores=8,
               engine="scenario"),
+    BenchSpec("scenario_invariants", "colocated_hammer_mcf",
+              tracker="graphene", scheme="impress-p", n_cores=8,
+              engine="scenario-invariants"),
 )
 
 
@@ -418,12 +425,57 @@ def _scenario_pass(spec: BenchSpec, n_requests: int):
     return timed_pass
 
 
+def _scenario_invariants_pass(spec: BenchSpec, n_requests: int):
+    """Timed-pass closure for the monitored co-located scenario row.
+
+    The same preset and trace set as the ``scenario`` row, but each
+    pass runs under a fresh :class:`InvariantMonitor` with periodic
+    checkpoints (:func:`repro.security.invariants.monitored_run`).  The
+    gap between this row and ``colocated_attack`` is the full online
+    checking overhead; the monitor-disabled row itself must stay within
+    noise of earlier artifacts — the hooks are zero-cost when detached.
+    """
+    from .scenarios.registry import get_scenario
+    from .security.invariants import monitored_run
+    from .workloads.compiled import compiled_source_traces
+
+    scenario = get_scenario(spec.workload)
+    system = scenario.system
+    if isinstance(scenario.cores, str):
+        compiled = compiled_rate_mode_traces(
+            scenario.cores, system.n_cores, n_requests, 0, system.mapper()
+        )
+    else:
+        compiled = compiled_source_traces(
+            scenario.cores, n_requests, 0, system.mapper()
+        )
+    traces = [entry.trace for entry in compiled]
+
+    def timed_pass() -> int:
+        sim = SystemSimulator(
+            system, traces, scenario.defense, tmro_ns=scenario.tmro_ns,
+            compiled=compiled,
+        )
+        result, monitor = monitored_run(
+            sim, tmro_ns=scenario.tmro_ns, checkpoint_cycles=50_000
+        )
+        if not monitor.ok:
+            raise AssertionError(
+                "benchmark preset violated invariants: "
+                + ", ".join(monitor.violation_names())
+            )
+        return result.elapsed_cycles
+
+    return timed_pass
+
+
 _ENGINE_PASSES = {
     "fast": _simulation_pass,
     "reference": _simulation_pass,
     "tracker-kernel": _tracker_kernel_pass,
     "sweep": _sweep_pass,
     "scenario": _scenario_pass,
+    "scenario-invariants": _scenario_invariants_pass,
 }
 
 

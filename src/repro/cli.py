@@ -21,6 +21,13 @@ Commands:
   a metric diff between two result stores/commits.
 * ``bench`` — time the canonical simulations and write a tracked
   ``BENCH_<n>.json`` throughput artifact (see docs/performance.md).
+* ``fuzz`` — seeded random walk over the scenario space under the
+  online invariant monitor in both engines, shrinking any failure to a
+  minimal stored reproducer (see docs/fuzzing.md); ``--replay KEY``
+  re-runs a stored reproducer.
+* ``results`` — inspect the content-addressed result store:
+  ``list`` the recorded artifacts (name, key, kind, timestamp,
+  git SHA).
 """
 
 from __future__ import annotations
@@ -342,6 +349,81 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- fuzzing and the result store -----------------------------------------
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .results.store import store_for
+    from .scenarios.fuzz import (
+        DEFAULT_FUZZ_REQUESTS,
+        fuzz,
+        replay_reproducer,
+    )
+    from .security import faults
+
+    store = store_for(Path(args.results_dir))
+    requests = (
+        DEFAULT_FUZZ_REQUESTS if args.requests is None else args.requests
+    )
+    if args.replay is not None:
+        try:
+            spec, outcome = replay_reproducer(store, args.replay)
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+        print(f"replayed {args.replay}: {spec.core_summary()} under "
+              f"{spec.defense_summary()}")
+        if outcome.ok:
+            print("  no violations — the failure no longer reproduces")
+            return 0
+        for line in outcome.violations:
+            print(f"  {line}")
+        return 1
+    if args.fault is not None:
+        try:
+            faults.inject(args.fault)
+        except ValueError as exc:
+            print(exc.args[0])
+            return 2
+    try:
+        report = fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            n_requests=requests,
+            store=store,
+            progress=print,
+        )
+    finally:
+        if args.fault is not None:
+            faults.clear(args.fault)
+    print(f"\n{report.candidates} candidate(s) at seed {report.seed}: "
+          f"{len(report.failures)} failure(s)")
+    for failure in report.failures:
+        print(f"  [{'+'.join(failure.signature)}] "
+              f"{failure.spec.core_summary()} under "
+              f"{failure.spec.defense_summary()} "
+              f"@ {failure.n_requests} requests -> {failure.store_key}")
+    return 1 if report.failures else 0
+
+
+def _cmd_results_list(args: argparse.Namespace) -> int:
+    from .results.store import store_for
+
+    store = store_for(Path(args.results_dir))
+    entries = store.entries(name=args.name, kind=args.kind)
+    if not entries:
+        print(f"no matching result artifacts recorded under {store.root}")
+        return 0
+    print(f"{'name':<34} {'key':<18} {'kind':<18} "
+          f"{'timestamp':<22} git")
+    for entry in entries:
+        print(f"{entry.get('name', '-'):<34} {entry['key']:<18} "
+              f"{entry.get('kind', '-'):<18} "
+              f"{entry.get('timestamp', '-'):<22} "
+              f"{entry.get('git_sha', '-')}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -511,6 +593,61 @@ def build_parser() -> argparse.ArgumentParser:
         "dir_b", help="results dir or store root of side B"
     )
     scenario_report.set_defaults(func=_cmd_scenario_report)
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="fuzz the scenario space under the invariant monitor in "
+             "both engines; shrink and store failing reproducers",
+    )
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="grammar seed (fixes the whole run)")
+    fuzz_cmd.add_argument("--budget", type=int, default=25,
+                          help="number of candidates to generate")
+    fuzz_cmd.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per core per candidate (default: the fuzzer's)",
+    )
+    fuzz_cmd.add_argument(
+        "--results-dir", default="results",
+        help="reproducers land in <dir>/store/, indexed as "
+             "fuzz/<signature>",
+    )
+    fuzz_cmd.add_argument(
+        "--fault", default=None,
+        help="inject a known defense fault for the run (the planted-"
+             "violation path; see repro.security.faults)",
+    )
+    fuzz_cmd.add_argument(
+        "--replay", default=None, metavar="KEY",
+        help="re-run the stored reproducer with this content key "
+             "instead of fuzzing",
+    )
+    fuzz_cmd.set_defaults(func=_cmd_fuzz)
+
+    results_cmd = sub.add_parser(
+        "results",
+        help="inspect the content-addressed result store",
+    )
+    results_sub = results_cmd.add_subparsers(
+        dest="results_command", required=True
+    )
+    results_list = results_sub.add_parser(
+        "list",
+        help="list recorded artifacts: name, key, kind, timestamp, "
+             "git SHA",
+    )
+    results_list.add_argument(
+        "--results-dir", default="results",
+        help="results directory holding the store (default: results/)",
+    )
+    results_list.add_argument(
+        "--kind", default=None,
+        help="only entries of this kind (scenario, fuzz-repro, ...)",
+    )
+    results_list.add_argument(
+        "--name", default=None, help="only entries aliased to this name"
+    )
+    results_list.set_defaults(func=_cmd_results_list)
     return parser
 
 

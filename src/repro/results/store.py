@@ -202,6 +202,17 @@ class ResultStore:
         """The payload stored for ``recipe`` (None on miss/corruption)."""
         return self.get(content_key(recipe))
 
+    def recipe(self, key: str) -> Optional[Dict[str, Any]]:
+        """The recipe stored under ``key`` (None on miss/corruption).
+
+        Blobs are self-describing: the recipe rides inside, so a
+        consumer holding only a content key (a fuzz reproducer, a
+        baseline reference) can rebuild the exact run that produced
+        the payload.
+        """
+        blob = self._load_blob(key)
+        return None if blob is None else blob.get("recipe")
+
     def _load_blob(self, key: str) -> Optional[Dict[str, Any]]:
         path = self.blob_path(key)
         if not path.is_file():

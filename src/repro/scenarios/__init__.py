@@ -10,6 +10,9 @@ topology × defense) points over the paper's design space.
   :meth:`~repro.experiments.common.SweepRunner.run_many`.
 * :mod:`~repro.scenarios.run` — execution, security metrics, and the
   disk-cached results artifacts behind ``repro scenario run``.
+* :mod:`~repro.scenarios.fuzz` — the seeded spec-space fuzzer with
+  shrinking reproducers behind ``repro fuzz`` (imported lazily; it
+  pulls in both simulation engines).
 """
 
 from .grid import ScenarioGrid
@@ -23,7 +26,7 @@ from .run import (
     scenario_config_hash,
     scenario_run_recipe,
 )
-from .spec import ScenarioSpec
+from .spec import ScenarioSpec, spec_from_recipe
 
 __all__ = [
     "SCENARIOS",
@@ -39,4 +42,5 @@ __all__ = [
     "scenario_config_hash",
     "scenario_names",
     "scenario_run_recipe",
+    "spec_from_recipe",
 ]

@@ -1,0 +1,817 @@
+"""Seeded scenario fuzzer with shrinking reproducers.
+
+``repro fuzz --seed S --budget N`` random-walks the
+:class:`~repro.scenarios.spec.ScenarioSpec` space — phase-changing
+attackers, attacker-vs-attacker bank sharing, decoy/dwell/refresh-sync
+parameter mutations, K and topology perturbations — through a seeded
+mutation grammar, and runs every candidate under the online
+:class:`~repro.security.invariants.InvariantMonitor` in **both**
+engines.  A candidate fails when any invariant trips in either engine
+*or* when the engines disagree on any SimResult field
+(``engine-divergence`` — the bit-identical contract is itself an
+invariant here).
+
+Failures are greedily shrunk to minimal reproducers: halve the request
+count, idle cores one by one, drop trailing idle cores (shrinking the
+topology), simplify attacker sources (phased → first phase, extra rows
+and tuned parameters → defaults), and clamp banks/channels — keeping
+each reduction only if the exact failure signature (the sorted set of
+violated invariant names) still reproduces.  Divergence failures are
+additionally bisected to the first checkpoint window where the engines'
+:func:`~repro.sim.snapshot.state_fingerprint` disagree.
+
+The shrunk reproducer lands in the content-addressed
+:class:`~repro.results.store.ResultStore` keyed by its explicit recipe
+(spec recipe + run shape + active faults), so a fixed seed produces the
+same store keys on every invocation, and
+:func:`replay_reproducer`/:func:`reproducer_spec` rebuild the exact run
+— or a ready-to-register named preset — from the blob alone.
+
+Everything is deterministic in ``seed``: candidate generation draws
+from one ``random.Random(seed)`` stream, and checking/shrinking draw
+nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from contextlib import ExitStack
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..results.store import ResultStore
+from ..security import faults
+from ..security.invariants import monitored_run
+from ..sim.config import DefenseConfig, SystemConfig
+from ..sim.reference import ReferenceSimulator
+from ..sim.snapshot import state_fingerprint
+from ..sim.system import SystemSimulator
+from ..workloads.compiled import (
+    compiled_rate_mode_traces,
+    compiled_source_traces,
+)
+from ..workloads.sources import (
+    ATTACK_PATTERNS,
+    AttackerSource,
+    IdleSource,
+    PhasedAttackerSource,
+    ProfileSource,
+)
+from .spec import ScenarioSpec, spec_from_recipe
+
+#: Default requests per core for fuzz candidates: enough simulated time
+#: to cross refresh windows and force mitigations, small enough that a
+#: candidate runs in both engines in well under a second.
+DEFAULT_FUZZ_REQUESTS = 160
+
+#: The shrinker never halves the request count below this floor — a
+#: reproducer that short would not exercise the invariants it violates.
+MIN_SHRINK_REQUESTS = 40
+
+#: Benign profiles the generator places on victim cores.
+FUZZ_PROFILES = ("mcf", "gcc", "omnetpp", "bwaves")
+
+#: Defense points the generator draws from — one per tracker kind plus
+#: the undefended machine, mirroring the invariant-engine test matrix.
+FUZZ_DEFENSES: Tuple[Optional[DefenseConfig], ...] = (
+    None,
+    DefenseConfig(tracker="graphene", scheme="impress-p"),
+    DefenseConfig(tracker="graphene", scheme="impress-n"),
+    DefenseConfig(tracker="graphene", scheme="express", alpha=1.0),
+    DefenseConfig(tracker="para", scheme="impress-p", trh=100),
+    DefenseConfig(tracker="mithril", scheme="impress-p", rfmth=20),
+    DefenseConfig(tracker="mint", scheme="impress-n", trh=1600, rfmth=20),
+    DefenseConfig(tracker="prac", scheme="impress-p", trh=150),
+    DefenseConfig(tracker="dsac", scheme="impress-p", trh=300),
+)
+
+
+# -- candidate generation -------------------------------------------------
+
+
+def _random_attacker(
+    rng: random.Random, channels: int, banks: int
+) -> AttackerSource:
+    """One random attack source aimed inside the given topology."""
+    pattern = rng.choice(ATTACK_PATTERNS)
+    bank = rng.randrange(banks)
+    channel = rng.randrange(channels)
+    base_row = rng.randrange(16, 480, 2)
+    n_rows = rng.choice((2, 2, 3, 4))
+    kwargs: Dict[str, Any] = {
+        "pattern": pattern,
+        "bank": bank,
+        "channel": channel,
+        "rows": tuple(base_row + 2 * i for i in range(n_rows)),
+    }
+    if pattern == "hammer":
+        kwargs["gap_cycles"] = rng.choice((0, 8, 32))
+    elif pattern == "k_sided":
+        kwargs["victim_row"] = base_row + 1
+        kwargs["k"] = rng.choice((2, 3, 4))
+    elif pattern in ("dwell", "decoy"):
+        kwargs["hold_gap_cycles"] = rng.choice((40, 80, 120))
+        kwargs["hits_per_dwell"] = rng.choice((2, 4, 8))
+        kwargs["hold_hits"] = rng.choice((1, 2, 4))
+    elif pattern == "refresh_sync":
+        kwargs["burst_acts"] = rng.choice((16, 40, 64))
+        kwargs["idle_gap_cycles"] = rng.choice((2048, 8192))
+    return AttackerSource(**kwargs)
+
+
+def random_spec(rng: random.Random, index: int) -> ScenarioSpec:
+    """One random scenario: small topology, mixed victim/attacker cores."""
+    n_cores = rng.randint(2, 4)
+    channels = rng.choice((1, 1, 2))
+    banks = rng.choice((8, 16))
+    # A third of candidates disable MOP auto-precharge: Row-Press
+    # pressure (and tMRO enforcement) only matters when rows can
+    # actually be held open.
+    mop = rng.choice((8, 8, None))
+    system = SystemConfig(
+        n_cores=n_cores, channels=channels, banks_per_channel=banks,
+        mop_burst_lines=mop,
+    )
+    cores: List[Any] = [ProfileSource(rng.choice(FUZZ_PROFILES))]
+    for _ in range(n_cores - 1):
+        roll = rng.random()
+        if roll < 0.55:
+            cores.append(_random_attacker(rng, channels, banks))
+        elif roll < 0.70:
+            phases = tuple(
+                _random_attacker(rng, channels, banks)
+                for _ in range(rng.randint(2, 3))
+            )
+            cores.append(
+                PhasedAttackerSource(
+                    phases=phases, phase_len=rng.choice((24, 48))
+                )
+            )
+        elif roll < 0.85:
+            cores.append(ProfileSource(rng.choice(FUZZ_PROFILES)))
+        else:
+            cores.append(IdleSource())
+    defense = rng.choice(FUZZ_DEFENSES)
+    tmro_ns = (
+        rng.choice((84.0, 120.0, 180.0)) if rng.random() < 0.2 else None
+    )
+    return ScenarioSpec(
+        name=f"fuzz_{index}",
+        cores=tuple(cores),
+        system=system,
+        defense=defense,
+        tmro_ns=tmro_ns,
+        description="fuzzer-generated candidate",
+    )
+
+
+# -- the mutation grammar -------------------------------------------------
+
+
+def _attacker_cores(spec: ScenarioSpec) -> List[int]:
+    return list(spec.attacker_cores())
+
+
+def _with_cores(
+    spec: ScenarioSpec, cores: Sequence[Any],
+    system: Optional[SystemConfig] = None,
+) -> Optional[ScenarioSpec]:
+    """A copy with replaced cores/topology, or None if invalid."""
+    try:
+        return replace(
+            spec, cores=tuple(cores), system=system or spec.system
+        )
+    except ValueError:
+        return None
+
+
+def _mut_share_bank(rng, spec):
+    """Attacker-vs-attacker bank sharing: retarget one onto another."""
+    attackers = [
+        i for i in _attacker_cores(spec)
+        if isinstance(spec.cores[i], AttackerSource)
+    ]
+    if len(attackers) < 2:
+        return None
+    dst, src = rng.sample(attackers, 2)
+    target = spec.cores[src]
+    cores = list(spec.cores)
+    cores[dst] = replace(
+        cores[dst], bank=target.bank, channel=target.channel
+    )
+    return _with_cores(spec, cores)
+
+
+def _mut_change_pattern(rng, spec):
+    """Swap one attacker's pattern, keeping its target bank."""
+    attackers = [
+        i for i in _attacker_cores(spec)
+        if isinstance(spec.cores[i], AttackerSource)
+    ]
+    if not attackers:
+        return None
+    idx = rng.choice(attackers)
+    old = spec.cores[idx]
+    fresh = _random_attacker(
+        rng, spec.system.channels, spec.system.banks_per_channel
+    )
+    cores = list(spec.cores)
+    cores[idx] = replace(fresh, bank=old.bank, channel=old.channel)
+    return _with_cores(spec, cores)
+
+
+def _mut_perturb_params(rng, spec):
+    """Nudge one attacker's K/dwell/decoy/refresh-sync parameters."""
+    attackers = [
+        i for i in _attacker_cores(spec)
+        if isinstance(spec.cores[i], AttackerSource)
+    ]
+    if not attackers:
+        return None
+    idx = rng.choice(attackers)
+    source = spec.cores[idx]
+    cores = list(spec.cores)
+    if source.pattern == "k_sided":
+        cores[idx] = replace(
+            source, k=max(2, min(6, source.k + rng.choice((-1, 1))))
+        )
+    elif source.pattern in ("dwell", "decoy"):
+        cores[idx] = replace(
+            source,
+            hold_gap_cycles=rng.choice((40, 80, 120, 140)),
+            hold_hits=rng.choice((1, 2, 4)),
+            hits_per_dwell=rng.choice((2, 4, 8)),
+        )
+    elif source.pattern == "refresh_sync":
+        cores[idx] = replace(
+            source,
+            burst_acts=rng.choice((16, 32, 64)),
+            idle_gap_cycles=rng.choice((2048, 4096, 8192)),
+        )
+    else:
+        cores[idx] = replace(source, gap_cycles=rng.choice((0, 8, 32)))
+    return _with_cores(spec, cores)
+
+
+def _mut_phase_change(rng, spec):
+    """Make an attacker phase-changing (or grow/rotate its phases)."""
+    attackers = _attacker_cores(spec)
+    if not attackers:
+        return None
+    idx = rng.choice(attackers)
+    source = spec.cores[idx]
+    extra = _random_attacker(
+        rng, spec.system.channels, spec.system.banks_per_channel
+    )
+    cores = list(spec.cores)
+    if isinstance(source, PhasedAttackerSource):
+        phases = source.phases[1:] + source.phases[:1] + (extra,)
+        cores[idx] = replace(source, phases=phases[:4])
+    else:
+        cores[idx] = PhasedAttackerSource(
+            phases=(source, extra), phase_len=rng.choice((24, 48))
+        )
+    return _with_cores(spec, cores)
+
+
+def _mut_topology(rng, spec):
+    """Perturb the machine: bank count, channel count, or core count."""
+    system = spec.system
+    roll = rng.random()
+    if roll < 0.4:
+        banks = rng.choice((4, 8, 16, 32))
+        if banks == system.banks_per_channel:
+            return None
+        cores = [
+            replace(source, bank=source.bank % banks)
+            if isinstance(source, AttackerSource) else source
+            for source in spec.cores
+        ]
+        return _with_cores(
+            spec, cores, replace(system, banks_per_channel=banks)
+        )
+    if roll < 0.6:
+        channels = 2 if system.channels == 1 else 1
+        cores = [
+            replace(source, channel=source.channel % channels)
+            if isinstance(source, AttackerSource) else source
+            for source in spec.cores
+        ]
+        return _with_cores(
+            spec, cores, replace(system, channels=channels)
+        )
+    cores = list(spec.cores) + [
+        _random_attacker(rng, system.channels, system.banks_per_channel)
+    ]
+    return _with_cores(
+        spec, cores, replace(system, n_cores=system.n_cores + 1)
+    )
+
+
+def _mut_defense(rng, spec):
+    """Move to another defense point (or toggle an explicit tMRO)."""
+    defense = rng.choice(FUZZ_DEFENSES)
+    tmro_ns = (
+        rng.choice((84.0, 120.0, 180.0)) if rng.random() < 0.25 else None
+    )
+    return replace(spec, defense=defense, tmro_ns=tmro_ns)
+
+
+#: The grammar: every operator takes (rng, spec) and returns a mutated
+#: spec or None when it does not apply.
+MUTATIONS: Tuple[Callable, ...] = (
+    _mut_share_bank,
+    _mut_change_pattern,
+    _mut_perturb_params,
+    _mut_phase_change,
+    _mut_topology,
+    _mut_defense,
+)
+
+
+def mutate_spec(
+    rng: random.Random, spec: ScenarioSpec, tries: int = 8
+) -> ScenarioSpec:
+    """Apply one applicable mutation (the spec itself if none applies)."""
+    for _ in range(tries):
+        mutated = rng.choice(MUTATIONS)(rng, spec)
+        if mutated is not None:
+            return mutated
+    return spec
+
+
+# -- candidate checking ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One candidate's verdict across both engines."""
+
+    signature: Tuple[str, ...]   # sorted violated-invariant names
+    violations: Tuple[str, ...]  # engine-tagged Violation.describe lines
+    divergence: Optional[str]    # field summary when engines disagree
+    elapsed_cycles: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.signature
+
+
+def _result_fields(result) -> Dict[str, Any]:
+    """Every SimResult field, flattened for exact comparison."""
+    return {
+        "elapsed_cycles": result.elapsed_cycles,
+        "core_cycles": result.core_cycles,
+        "core_requests": result.core_requests,
+        "counts": dataclasses.asdict(result.counts),
+        "row_hits": result.row_hits,
+        "row_misses": result.row_misses,
+        "row_conflicts": result.row_conflicts,
+        "rfm_mitigations": result.rfm_mitigations,
+        "tmro_closures": result.tmro_closures,
+        "core_demand_acts": result.core_demand_acts,
+    }
+
+
+def _build_sim(spec: ScenarioSpec, engine: str, n_requests: int, seed: int):
+    """One simulator for the spec, sharing the compiled-trace cache."""
+    system = spec.system
+    if isinstance(spec.cores, str):
+        compiled = compiled_rate_mode_traces(
+            spec.cores, system.n_cores, n_requests, seed, system.mapper()
+        )
+    else:
+        compiled = compiled_source_traces(
+            spec.cores, n_requests, seed, system.mapper()
+        )
+    if engine == "fast":
+        return SystemSimulator(
+            system, defense=spec.defense, tmro_ns=spec.tmro_ns,
+            compiled=compiled,
+        )
+    return ReferenceSimulator(
+        system, [entry.trace for entry in compiled],
+        defense=spec.defense, tmro_ns=spec.tmro_ns,
+    )
+
+
+def check_scenario(
+    spec: ScenarioSpec,
+    n_requests: int = DEFAULT_FUZZ_REQUESTS,
+    seed: int = 0,
+    checkpoint_cycles: int = 50_000,
+) -> CheckOutcome:
+    """Run one candidate under the monitor in both engines.
+
+    The signature unions the violated-invariant names from both engines
+    and adds ``engine-divergence`` when any SimResult field differs —
+    the reference engine is the oracle for the fast one, so divergence
+    is a first-class violation even with every invariant clean.
+    """
+    results = {}
+    names = set()
+    describes: List[str] = []
+    for engine in ("fast", "reference"):
+        sim = _build_sim(spec, engine, n_requests, seed)
+        result, monitor = monitored_run(
+            sim, tmro_ns=spec.tmro_ns, checkpoint_cycles=checkpoint_cycles
+        )
+        results[engine] = result
+        names.update(monitor.violation_names())
+        describes.extend(
+            f"{engine}: {violation.describe()}"
+            for violation in monitor.violations
+        )
+    fast_fields = _result_fields(results["fast"])
+    reference_fields = _result_fields(results["reference"])
+    divergence = None
+    if fast_fields != reference_fields:
+        differing = sorted(
+            field for field in fast_fields
+            if fast_fields[field] != reference_fields[field]
+        )
+        divergence = "engines disagree on: " + ", ".join(differing)
+        names.add("engine-divergence")
+        describes.append(f"both: {divergence}")
+    return CheckOutcome(
+        signature=tuple(sorted(names)),
+        violations=tuple(describes),
+        divergence=divergence,
+        elapsed_cycles=results["fast"].elapsed_cycles,
+    )
+
+
+def bisect_divergence(
+    spec: ScenarioSpec,
+    n_requests: int = DEFAULT_FUZZ_REQUESTS,
+    seed: int = 0,
+    stride: int = 2_000,
+) -> Optional[Tuple[int, int]]:
+    """The first checkpoint window where the engines' state diverges.
+
+    Steps both engines in ``stride``-cycle lockstep and compares
+    :func:`~repro.sim.snapshot.state_fingerprint` at every stop — the
+    checkpoint contract makes the fingerprints total, so the returned
+    ``(clean_cycle, divergent_cycle)`` window bounds the first
+    mismatched event.  None when the engines agree end to end.
+    """
+    fast = _build_sim(spec, "fast", n_requests, seed)
+    reference = _build_sim(spec, "reference", n_requests, seed)
+    prev_stop = 0
+    stop = stride
+    while True:
+        fast_done = fast.run_until(stop_cycle=stop)
+        ref_done = reference.run_until(stop_cycle=stop)
+        if (
+            fast_done != ref_done
+            or state_fingerprint(fast) != state_fingerprint(reference)
+        ):
+            return (prev_stop, stop)
+        if fast_done:
+            return None
+        prev_stop = stop
+        stop += stride
+
+
+# -- shrinking ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized failing candidate plus the trail that got there."""
+
+    spec: ScenarioSpec
+    n_requests: int
+    steps: Tuple[str, ...]
+    evaluations: int
+
+
+def _simplified_attacker(source: AttackerSource) -> AttackerSource:
+    """The canonical simpler form of an attacker (same pattern/target)."""
+    return AttackerSource(
+        pattern=source.pattern,
+        bank=source.bank,
+        channel=source.channel,
+        rows=source.rows[:2],
+        victim_row=source.victim_row,
+    )
+
+
+def shrink(
+    spec: ScenarioSpec,
+    signature: Tuple[str, ...],
+    n_requests: int = DEFAULT_FUZZ_REQUESTS,
+    seed: int = 0,
+    checkpoint_cycles: int = 50_000,
+    max_evaluations: int = 48,
+) -> ShrinkResult:
+    """Greedily minimize a failing candidate, preserving its signature.
+
+    Each pass proposes a strictly smaller candidate and keeps it only
+    if re-checking still yields exactly ``signature``; passes repeat
+    until a fixpoint (or the evaluation budget runs out).  Passes, in
+    order: halve ``n_requests``, idle cores one by one, drop trailing
+    idle cores (shrinking ``n_cores``), simplify attacker sources
+    (phased → first phase, tuned parameters → defaults), and clamp the
+    channel count.
+    """
+    evaluations = 0
+    steps: List[str] = []
+
+    def still_fails(candidate: ScenarioSpec, candidate_requests: int) -> bool:
+        nonlocal evaluations
+        if evaluations >= max_evaluations:
+            return False
+        evaluations += 1
+        outcome = check_scenario(
+            candidate, candidate_requests, seed, checkpoint_cycles
+        )
+        return outcome.signature == signature
+
+    changed = True
+    while changed and evaluations < max_evaluations:
+        changed = False
+
+        # Halve the run length.
+        while (
+            n_requests // 2 >= MIN_SHRINK_REQUESTS
+            and still_fails(spec, n_requests // 2)
+        ):
+            n_requests //= 2
+            steps.append(f"halved requests to {n_requests}")
+            changed = True
+
+        # Idle cores one by one (victim first: it is least load-bearing).
+        if not isinstance(spec.cores, str):
+            for idx, source in enumerate(spec.cores):
+                if isinstance(source, IdleSource):
+                    continue
+                cores = list(spec.cores)
+                cores[idx] = IdleSource()
+                candidate = _with_cores(spec, cores)
+                if candidate is not None and still_fails(candidate, n_requests):
+                    spec = candidate
+                    steps.append(f"idled core {idx}")
+                    changed = True
+
+            # Drop trailing idle cores, shrinking the topology with them.
+            while (
+                not isinstance(spec.cores, str)
+                and len(spec.cores) > 1
+                and isinstance(spec.cores[-1], IdleSource)
+            ):
+                candidate = _with_cores(
+                    spec, spec.cores[:-1],
+                    replace(spec.system, n_cores=spec.system.n_cores - 1),
+                )
+                if candidate is not None and still_fails(candidate, n_requests):
+                    spec = candidate
+                    steps.append(f"dropped idle core (now {len(spec.cores)})")
+                    changed = True
+                else:
+                    break
+
+            # Simplify attacker sources.
+            for idx, source in enumerate(spec.cores):
+                if isinstance(source, PhasedAttackerSource):
+                    simpler: Any = source.phases[0]
+                elif isinstance(source, AttackerSource):
+                    simpler = _simplified_attacker(source)
+                    if simpler == source:
+                        continue
+                else:
+                    continue
+                cores = list(spec.cores)
+                cores[idx] = simpler
+                candidate = _with_cores(spec, cores)
+                if candidate is not None and still_fails(candidate, n_requests):
+                    spec = candidate
+                    steps.append(f"simplified attacker on core {idx}")
+                    changed = True
+
+            # Clamp to one channel when nothing targets the second.
+            if spec.system.channels > 1 and all(
+                getattr(source, "channel", 0) == 0
+                or isinstance(source, PhasedAttackerSource)
+                and all(phase.channel == 0 for phase in source.phases)
+                for source in spec.cores
+            ):
+                candidate = _with_cores(
+                    spec, spec.cores, replace(spec.system, channels=1)
+                )
+                if candidate is not None and still_fails(candidate, n_requests):
+                    spec = candidate
+                    steps.append("clamped to one channel")
+                    changed = True
+
+    return ShrinkResult(
+        spec=spec,
+        n_requests=n_requests,
+        steps=tuple(steps),
+        evaluations=evaluations,
+    )
+
+
+# -- reproducers ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One fuzz failure, shrunk, with its stored reproducer key."""
+
+    candidate: int
+    spec: ScenarioSpec
+    n_requests: int
+    seed: int
+    signature: Tuple[str, ...]
+    violations: Tuple[str, ...]
+    divergence_window: Optional[Tuple[int, int]]
+    shrink_steps: Tuple[str, ...]
+    shrink_evaluations: int
+    store_key: Optional[str]
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one ``fuzz()`` invocation."""
+
+    seed: int
+    budget: int
+    n_requests: int
+    candidates: int
+    failures: Tuple[FuzzFailure, ...]
+    faults: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fuzz_repro_recipe(
+    spec: ScenarioSpec, n_requests: int, seed: int
+) -> Dict[str, Any]:
+    """The content-store recipe of one fuzz reproducer.
+
+    Active faults are part of the identity: a failure that only exists
+    under an injected fault must never collide with (or replay as) a
+    clean run of the same spec.
+    """
+    return {
+        "kind": "fuzz-repro",
+        "scenario": spec.recipe(),
+        "n_requests": n_requests,
+        "seed": seed,
+        "faults": list(faults.active_faults()),
+    }
+
+
+def store_reproducer(store: ResultStore, failure: FuzzFailure) -> str:
+    """Persist a shrunk reproducer; returns its content key."""
+    recipe = fuzz_repro_recipe(
+        failure.spec, failure.n_requests, failure.seed
+    )
+    payload = {
+        "signature": list(failure.signature),
+        "violations": list(failure.violations),
+        "divergence_window": (
+            None if failure.divergence_window is None
+            else list(failure.divergence_window)
+        ),
+        "shrink_steps": list(failure.shrink_steps),
+        "shrink_evaluations": failure.shrink_evaluations,
+        "cores": failure.spec.core_summary(),
+        "defense": failure.spec.defense_summary(),
+    }
+    name = "fuzz/" + "+".join(failure.signature)
+    key, _, _ = store.put(
+        recipe, payload, name=name, kind="fuzz-repro",
+        meta={"candidate": failure.candidate, "seed": failure.seed},
+    )
+    return key
+
+
+def reproducer_spec(
+    store: ResultStore, key: str, name: Optional[str] = None
+) -> Tuple[ScenarioSpec, Dict[str, Any]]:
+    """A stored reproducer as a ready-to-run named scenario preset.
+
+    Returns ``(spec, recipe)``; the spec can be registered or passed
+    straight to ``run_scenario``.  Raises ``KeyError`` when ``key``
+    holds no fuzz reproducer.
+    """
+    recipe = store.recipe(key)
+    if recipe is None or recipe.get("kind") != "fuzz-repro":
+        raise KeyError(f"no fuzz reproducer stored under key {key!r}")
+    spec = spec_from_recipe(
+        recipe["scenario"],
+        name=name or f"fuzz_repro_{key}",
+        description=f"shrunk fuzz reproducer {key}",
+    )
+    return spec, recipe
+
+
+def replay_reproducer(
+    store: ResultStore, key: str, checkpoint_cycles: int = 50_000
+) -> Tuple[ScenarioSpec, CheckOutcome]:
+    """Re-run a stored reproducer exactly as the fuzzer saw it.
+
+    The blob's recipe pins the spec, run shape *and* the injected
+    faults, so replaying the planted-fault reproducer re-trips the same
+    invariants, and replaying it without its recorded faults would not
+    — which is why the faults ride in the recipe.
+    """
+    spec, recipe = reproducer_spec(store, key)
+    with ExitStack() as stack:
+        for fault in recipe.get("faults", ()):
+            stack.enter_context(faults.injected(fault))
+        outcome = check_scenario(
+            spec, recipe["n_requests"], recipe["seed"],
+            checkpoint_cycles=checkpoint_cycles,
+        )
+    return spec, outcome
+
+
+# -- the main loop --------------------------------------------------------
+
+
+def fuzz(
+    seed: int,
+    budget: int,
+    n_requests: int = DEFAULT_FUZZ_REQUESTS,
+    store: Optional[ResultStore] = None,
+    checkpoint_cycles: int = 50_000,
+    max_shrink_evaluations: int = 48,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``budget`` seeded candidates; shrink and store every failure.
+
+    Fully deterministic in ``(seed, budget, n_requests)``: two
+    invocations yield the same candidates, the same failure signatures,
+    the same shrunk reproducers and the same store keys.
+    """
+    rng = random.Random(seed)
+    failures: List[FuzzFailure] = []
+    for candidate in range(budget):
+        spec = random_spec(rng, candidate)
+        for _ in range(rng.randint(0, 2)):
+            spec = mutate_spec(rng, spec)
+        outcome = check_scenario(
+            spec, n_requests, seed, checkpoint_cycles
+        )
+        if progress is not None:
+            verdict = (
+                "ok" if outcome.ok else "+".join(outcome.signature)
+            )
+            progress(
+                f"candidate {candidate}: {spec.core_summary()} under "
+                f"{spec.defense_summary()} -> {verdict}"
+            )
+        if outcome.ok:
+            continue
+        shrunk = shrink(
+            spec, outcome.signature, n_requests, seed,
+            checkpoint_cycles=checkpoint_cycles,
+            max_evaluations=max_shrink_evaluations,
+        )
+        final = check_scenario(
+            shrunk.spec, shrunk.n_requests, seed, checkpoint_cycles
+        )
+        window = None
+        if "engine-divergence" in final.signature:
+            window = bisect_divergence(
+                shrunk.spec, shrunk.n_requests, seed
+            )
+        failure = FuzzFailure(
+            candidate=candidate,
+            spec=shrunk.spec,
+            n_requests=shrunk.n_requests,
+            seed=seed,
+            signature=final.signature,
+            violations=final.violations,
+            divergence_window=window,
+            shrink_steps=shrunk.steps,
+            shrink_evaluations=shrunk.evaluations,
+            store_key=None,
+        )
+        if store is not None:
+            failure = replace(
+                failure, store_key=store_reproducer(store, failure)
+            )
+        failures.append(failure)
+        if progress is not None:
+            progress(
+                f"  shrunk to {failure.spec.core_summary()} @ "
+                f"{failure.n_requests} requests "
+                f"({failure.shrink_evaluations} evaluations)"
+                + (f", stored {failure.store_key}" if failure.store_key
+                   else "")
+            )
+    return FuzzReport(
+        seed=seed,
+        budget=budget,
+        n_requests=n_requests,
+        candidates=budget,
+        failures=tuple(failures),
+        faults=faults.active_faults(),
+    )

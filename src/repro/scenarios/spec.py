@@ -27,14 +27,17 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Optional, Tuple, Union
 
+from ..dram.timing import CycleTimings, DramClock
 from ..sim.config import DefenseConfig, SystemConfig
 from ..workloads.sources import (
     AttackerSource,
     CoreSources,
     IdleSource,
+    PhasedAttackerSource,
     ProfileSource,
     TraceSource,
     is_attacker,
+    source_from_recipe,
 )
 from ..workloads.synthetic import per_core_profile_names
 
@@ -234,4 +237,44 @@ def _source_label(source: TraceSource) -> str:
         return source.profile
     if isinstance(source, AttackerSource):
         return f"{source.pattern}@b{source.bank}"
+    if isinstance(source, PhasedAttackerSource):
+        patterns = "/".join(phase.pattern for phase in source.phases)
+        return f"phased[{patterns}]"
     return "idle"
+
+
+def spec_from_recipe(
+    recipe: Dict[str, Any],
+    name: str = "replayed",
+    description: str = "",
+) -> ScenarioSpec:
+    """Reconstruct a :class:`ScenarioSpec` from its :meth:`recipe` dict.
+
+    The inverse of :meth:`ScenarioSpec.recipe` up to the deliberately
+    excluded ``name``/``description`` aliases (supplied by the caller),
+    so ``spec_from_recipe(spec.recipe()).recipe() == spec.recipe()``.
+    This is what makes a stored fuzz reproducer self-contained: the
+    content-addressed blob's recipe rebuilds the exact spec it keyed.
+    """
+    system_fields = dict(recipe["system"])
+    timing_fields = dict(system_fields.pop("timings"))
+    clock = DramClock(**timing_fields.pop("clock"))
+    system = SystemConfig(
+        timings=CycleTimings(clock=clock, **timing_fields),
+        **system_fields,
+    )
+    defense_fields = recipe["defense"]
+    defense = (
+        None if defense_fields is None else DefenseConfig(**defense_fields)
+    )
+    cores: WorkloadKey = recipe["cores"]
+    if not isinstance(cores, str):
+        cores = tuple(source_from_recipe(core) for core in cores)
+    return ScenarioSpec(
+        name=name,
+        cores=cores,
+        system=system,
+        defense=defense,
+        tmro_ns=recipe["tmro_ns"],
+        description=description,
+    )

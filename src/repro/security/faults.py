@@ -1,0 +1,76 @@
+"""Test-only defense-fault injection registry.
+
+The invariant engine (:mod:`repro.security.invariants`) and the scenario
+fuzzer (:mod:`repro.scenarios.fuzz`) are validated end to end by
+*planting* a known defense bug and asserting the fuzzer finds it,
+shrinks it and stores a replayable reproducer.  The plant lives here:
+a process-local set of active fault names that defense construction
+code consults.
+
+Faults are keyed by name so they stay out of the recipe/config surface
+(adding a field to ``DefenseConfig`` would change every content-store
+key).  Nothing in a production run ever activates one; the registry is
+empty unless a test or ``repro fuzz --fault`` turns a fault on.
+
+Known faults:
+
+``lax-tmro``
+    :meth:`DefenseConfig.express_tmro_cycles` returns 4x the configured
+    tMRO, so the controller enforces a far weaker row-open limit than
+    the tracker provisioning assumed.  The invariant monitor computes
+    the *intended* tMRO independently from the raw nanosecond figure,
+    so any workload that holds a row open between the intended and the
+    lax limit trips the ``tmro-deadline`` invariant.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Fault names the registry accepts, mapped to one-line descriptions.
+KNOWN_FAULTS = {
+    "lax-tmro": "express_tmro_cycles returns 4x the configured tMRO",
+}
+
+#: Enforcement factor the ``lax-tmro`` fault applies.
+LAX_TMRO_FACTOR = 4
+
+_active: set = set()
+
+
+def fault_active(name: str) -> bool:
+    """True when ``name`` has been injected (hot path: one set probe)."""
+    return name in _active
+
+
+def inject(name: str) -> None:
+    """Activate a known fault process-wide until :func:`clear`."""
+    if name not in KNOWN_FAULTS:
+        raise ValueError(
+            f"unknown fault {name!r}; known: {sorted(KNOWN_FAULTS)}"
+        )
+    _active.add(name)
+
+
+def clear(name: str | None = None) -> None:
+    """Deactivate one fault, or every fault when ``name`` is None."""
+    if name is None:
+        _active.clear()
+    else:
+        _active.discard(name)
+
+
+def active_faults() -> tuple:
+    """Currently injected fault names, sorted (for run metadata)."""
+    return tuple(sorted(_active))
+
+
+@contextmanager
+def injected(name: str) -> Iterator[None]:
+    """Scope a fault to a ``with`` block (always deactivates on exit)."""
+    inject(name)
+    try:
+        yield
+    finally:
+        clear(name)

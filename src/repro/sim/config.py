@@ -185,7 +185,15 @@ class DefenseConfig:
         tmro_ns = (
             self.tmro_ns if self.tmro_ns is not None else DEFAULT_EXPRESS_TMRO_NS
         )
-        return timings.clock.cycles(tmro_ns)
+        cycles = timings.clock.cycles(tmro_ns)
+        # Test-only plant for the invariant engine/fuzzer: enforce a far
+        # weaker limit than configured.  Inactive in every normal run;
+        # see repro.security.faults.
+        from ..security import faults
+
+        if faults.fault_active("lax-tmro"):
+            cycles *= faults.LAX_TMRO_FACTOR
+        return cycles
 
     # -- tracker construction -------------------------------------------
 

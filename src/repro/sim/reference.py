@@ -20,7 +20,6 @@ correct formulation.
 from __future__ import annotations
 
 import heapq
-from itertools import count
 from typing import List, Optional, Sequence
 
 from ..core.mitigation import MitigationScheme
@@ -84,13 +83,19 @@ class ReferenceSimulator:
             for i, trace in enumerate(traces)
         ]
         self._heap: List = []
-        self._seq = count()
+        # A plain int (not itertools.count) so it can be checkpointed;
+        # only the relative order of sequence numbers matters.
+        self._seq = 0
         self._now = 0
+        self._started = False
+        self._remaining = 0
+        self._pending_done = 0
 
     # -- event plumbing ---------------------------------------------------
 
     def _push(self, cycle: int, kind: int, payload: int) -> None:
-        heapq.heappush(self._heap, (cycle, next(self._seq), kind, payload))
+        self._seq += 1
+        heapq.heappush(self._heap, (cycle, self._seq, kind, payload))
 
     def _flat_bank(self, channel: int, bank: int) -> int:
         return channel * self.system.banks_per_channel + bank
@@ -133,17 +138,49 @@ class ReferenceSimulator:
 
     # -- main loop ----------------------------------------------------------
 
-    def run(self, max_cycles: int = 1 << 34) -> SimResult:
-        """Run every core's trace to completion; returns the SimResult."""
+    def _prime(self) -> None:
+        """Seed the heap with each core's first issue event (run once)."""
+        self._started = True
         for core in self.cores:
             if len(core.trace) == 0:
                 core.finish_cycle = 0
                 continue
             first_gap = core.trace[0].gap_cycles
             self._push(first_gap, EVENT_CORE, core.core_id)
-        remaining = sum(len(core.trace) for core in self.cores)
-        pending_done = 0
+        self._remaining = sum(len(core.trace) for core in self.cores)
+
+    @property
+    def now(self) -> int:
+        """Cycle of the most recently processed event."""
+        return self._now
+
+    @property
+    def done(self) -> bool:
+        """True once every request has been issued and retired."""
+        return (
+            self._started
+            and self._remaining == 0
+            and self._pending_done == 0
+        )
+
+    def run_until(
+        self,
+        stop_cycle: Optional[int] = None,
+        max_cycles: int = 1 << 34,
+    ) -> bool:
+        """Process every event up to and including ``stop_cycle``.
+
+        ``None`` runs to completion.  Returns True when the whole run is
+        finished.  Mirrors the optimized engine's ``run_until`` so both
+        engines can be stepped in lockstep for divergence bisection.
+        """
+        if not self._started:
+            self._prime()
+        remaining = self._remaining
+        pending_done = self._pending_done
         while (remaining > 0 or pending_done > 0) and self._heap:
+            if stop_cycle is not None and self._heap[0][0] > stop_cycle:
+                break
             cycle, _seq, kind, payload = heapq.heappop(self._heap)
             if cycle > max_cycles:
                 raise RuntimeError(
@@ -175,12 +212,37 @@ class ReferenceSimulator:
                     core.stalled_on_mlp = False
                     if not core.exhausted:
                         self._try_issue(core, cycle)
-        if remaining > 0:
+        self._remaining = remaining
+        self._pending_done = pending_done
+        return remaining == 0 and pending_done == 0
+
+    def run(self, max_cycles: int = 1 << 34) -> SimResult:
+        """Run every core's trace to completion; returns the SimResult."""
+        self.run_until(None, max_cycles)
+        if self._remaining > 0:
             raise RuntimeError("event heap drained with work remaining")
+        return self.finish()
+
+    def finish(self) -> SimResult:
+        """Flush open rows and collect the result (run must be done)."""
         end_cycle = self._now
         for controller in self.controllers:
             controller.flush_open_rows(end_cycle + 1)
         return self._collect(end_cycle)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self):
+        """Full mutable run state; see :mod:`repro.sim.snapshot`."""
+        from .snapshot import capture
+
+        return capture(self)
+
+    def restore(self, snap) -> None:
+        """Restore a :meth:`snapshot` into this (identically built) run."""
+        from .snapshot import restore
+
+        restore(self, snap)
 
     def _collect(self, end_cycle: int) -> SimResult:
         counts = CommandCounts()

@@ -68,6 +68,11 @@ _PAYLOAD_MASK = (1 << _PAYLOAD_BITS) - 1
 _CORE_TAG = EVENT_CORE << _KIND_SHIFT
 _BANK_TAG = EVENT_BANK << _KIND_SHIFT
 _DONE_TAG = EVENT_DONE << _KIND_SHIFT
+#: Packed-event threshold that no real event reaches (cycles stay below
+#: 2**34, so packed values stay below 2**96).  Used as the "no stop
+#: cycle" sentinel so the main loop's stop check is always one plain
+#: int comparison.
+_NO_STOP = 1 << 120
 
 
 class SystemSimulator:
@@ -139,6 +144,9 @@ class SystemSimulator:
         self._heap: List[int] = []
         self._seq = 0
         self._now = 0
+        self._started = False
+        self._remaining = 0
+        self._pending_done = 0
         #: Cycle of each bank's single live heap entry, -1 when none.
         self._bank_wake: List[int] = [-1] * total_banks
         # Flat-bank dispatch tables: the event loop indexes a bound
@@ -235,19 +243,13 @@ class SystemSimulator:
 
     # -- main loop ----------------------------------------------------------
 
-    def run(self, max_cycles: int = 1 << 34) -> SimResult:
-        """Run every core's trace to completion; returns the SimResult."""
+    def _prime(self) -> None:
+        """Seed the heap with each core's first issue event (run once)."""
+        self._started = True
         heap = self._heap
         push = heapq.heappush
-        pop = heapq.heappop
-        cores = self.cores
-        controllers = self.controllers
         compiled = self._compiled
-        bank_wake = self._bank_wake
-        service_fns = self._service_fns
-        local_banks = self._local_banks
-        extra = self.system.extra_latency_cycles
-        for core in cores:
+        for core in self.cores:
             if len(core.trace) == 0:
                 core.finish_cycle = 0
                 continue
@@ -257,10 +259,58 @@ class SystemSimulator:
                 ((compiled[core.core_id].gaps[0] << _SEQ_BITS | self._seq)
                  << _LOW_BITS) | _CORE_TAG | core.core_id,
             )
-        remaining = sum(len(core.trace) for core in cores)
-        pending_done = 0
+        self._remaining = sum(len(core.trace) for core in self.cores)
+
+    @property
+    def now(self) -> int:
+        """Cycle of the most recently processed event."""
+        return self._now
+
+    @property
+    def done(self) -> bool:
+        """True once every request has been issued and retired."""
+        return (
+            self._started
+            and self._remaining == 0
+            and self._pending_done == 0
+        )
+
+    def run_until(
+        self,
+        stop_cycle: Optional[int] = None,
+        max_cycles: int = 1 << 34,
+    ) -> bool:
+        """Process every event up to and including ``stop_cycle``.
+
+        ``None`` runs to completion.  Returns True when the whole run is
+        finished (all requests issued and retired).  The loop is exactly
+        the original ``run`` loop plus one int comparison against the
+        pre-packed stop threshold, so behavior at any stop point is a
+        prefix of the straight run — which is what makes checkpoints and
+        divergence bisection bit-faithful.
+        """
+        if not self._started:
+            self._prime()
+        heap = self._heap
+        push = heapq.heappush
+        pop = heapq.heappop
+        cores = self.cores
+        compiled = self._compiled
+        bank_wake = self._bank_wake
+        service_fns = self._service_fns
+        local_banks = self._local_banks
+        extra = self.system.extra_latency_cycles
+        threshold = (
+            ((stop_cycle + 1) << _CYCLE_SHIFT)
+            if stop_cycle is not None
+            else _NO_STOP
+        )
+        remaining = self._remaining
+        pending_done = self._pending_done
         cycle = self._now
         while (remaining > 0 or pending_done > 0) and heap:
+            if heap[0] >= threshold:
+                break
             event = pop(heap)
             payload = event & _PAYLOAD_MASK
             kind = (event >> _KIND_SHIFT) & 3
@@ -312,12 +362,37 @@ class SystemSimulator:
             else:  # EVENT_CORE
                 self._try_issue(cores[payload], cycle)
         self._now = cycle
-        if remaining > 0:
+        self._remaining = remaining
+        self._pending_done = pending_done
+        return remaining == 0 and pending_done == 0
+
+    def run(self, max_cycles: int = 1 << 34) -> SimResult:
+        """Run every core's trace to completion; returns the SimResult."""
+        self.run_until(None, max_cycles)
+        if self._remaining > 0:
             raise RuntimeError("event heap drained with work remaining")
+        return self.finish()
+
+    def finish(self) -> SimResult:
+        """Flush open rows and collect the result (run must be done)."""
         end_cycle = self._now
-        for controller in controllers:
+        for controller in self.controllers:
             controller.flush_open_rows(end_cycle + 1)
         return self._collect(end_cycle)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self):
+        """Full mutable run state; see :mod:`repro.sim.snapshot`."""
+        from .snapshot import capture
+
+        return capture(self)
+
+    def restore(self, snap) -> None:
+        """Restore a :meth:`snapshot` into this (identically built) run."""
+        from .snapshot import restore
+
+        restore(self, snap)
 
     def _collect(self, end_cycle: int) -> SimResult:
         counts = CommandCounts()

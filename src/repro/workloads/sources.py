@@ -202,8 +202,64 @@ class AttackerSource:
         raise AssertionError("unreachable")
 
 
+@dataclass(frozen=True)
+class PhasedAttackerSource:
+    """An attacker that switches behavior every ``phase_len`` requests.
+
+    The trace concatenates each phase's generated requests in order,
+    cycling through ``phases`` until ``n_requests`` are emitted — a
+    phase-changing adversary (hammer, then dwell, then decoy, ...)
+    that no single-pattern generator can express.  Phases may target
+    different banks/channels, so one core can also spread pressure.
+    """
+
+    phases: Tuple[AttackerSource, ...]
+    phase_len: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.phases:
+            raise ValueError("a phased attacker needs at least one phase")
+        for phase in self.phases:
+            if not isinstance(phase, AttackerSource):
+                raise ValueError("phases must be AttackerSource values")
+        if self.phase_len < 1:
+            raise ValueError("phase_len must be positive")
+
+    def recipe(self) -> Dict[str, Any]:
+        """Explicit field dict for content-addressed artifact keys."""
+        return {
+            "kind": "phased",
+            "phase_len": self.phase_len,
+            "phases": [phase.recipe() for phase in self.phases],
+        }
+
+    def validate_for(self, channels: int, banks_per_channel: int) -> None:
+        """Every phase's target must fit the simulated topology."""
+        for phase in self.phases:
+            phase.validate_for(channels, banks_per_channel)
+
+    def build(
+        self, core_id: int, n_requests: int, seed: int,
+        mapper: MopAddressMapper,
+    ) -> Trace:
+        """Concatenate phase traces, cycling until ``n_requests``."""
+        requests: List[Any] = []
+        phase_idx = 0
+        while len(requests) < n_requests:
+            phase = self.phases[phase_idx % len(self.phases)]
+            chunk = phase.build(core_id, self.phase_len, seed, mapper)
+            if len(chunk) == 0:
+                break
+            requests.extend(chunk)
+            phase_idx += 1
+        return Trace(requests[:n_requests])
+
+
 #: Anything that can sit in a scenario's per-core assignment tuple.
-TraceSource = Union[ProfileSource, AttackerSource, IdleSource]
+TraceSource = Union[
+    ProfileSource, AttackerSource, PhasedAttackerSource, IdleSource
+]
 
 #: A full per-core assignment: one source per simulated core.
 CoreSources = Tuple[TraceSource, ...]
@@ -211,7 +267,34 @@ CoreSources = Tuple[TraceSource, ...]
 
 def is_attacker(source: TraceSource) -> bool:
     """Whether ``source`` is an attack-pattern generator."""
-    return isinstance(source, AttackerSource)
+    return isinstance(source, (AttackerSource, PhasedAttackerSource))
+
+
+def source_from_recipe(recipe: Dict[str, Any]) -> TraceSource:
+    """Reconstruct a trace source from its :meth:`recipe` dict.
+
+    The exact inverse of each source's ``recipe()`` — round-tripping
+    yields an equal (frozen, hashable) source, which is what lets a
+    stored fuzz reproducer be replayed from its content-addressed blob
+    alone.
+    """
+    kind = recipe.get("kind")
+    if kind == "profile":
+        return ProfileSource(recipe["profile"])
+    if kind == "idle":
+        return IdleSource()
+    if kind == "attacker":
+        fields = {k: v for k, v in recipe.items() if k != "kind"}
+        fields["rows"] = tuple(fields["rows"])
+        return AttackerSource(**fields)
+    if kind == "phased":
+        phases = tuple(
+            source_from_recipe(phase) for phase in recipe["phases"]
+        )
+        return PhasedAttackerSource(
+            phases=phases, phase_len=recipe["phase_len"]  # type: ignore[arg-type]
+        )
+    raise ValueError(f"unknown source recipe kind: {kind!r}")
 
 
 def build_core_traces(

@@ -165,3 +165,89 @@ class TestScenarioCommands:
         )
         assert code == 2
         assert "no comparable" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_clean_budget_exits_zero(self, capsys, tmp_path):
+        code = main(["fuzz", "--seed", "0", "--budget", "3",
+                     "--results-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+
+    def test_unknown_fault_is_an_error(self, capsys, tmp_path):
+        code = main(["fuzz", "--fault", "bogus",
+                     "--results-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown fault" in capsys.readouterr().out
+
+    def test_planted_fault_found_stored_and_replayable(self, capsys,
+                                                       tmp_path):
+        code = main(["fuzz", "--seed", "0", "--budget", "6",
+                     "--fault", "lax-tmro",
+                     "--results-dir", str(tmp_path)])
+        assert code == 1  # failures found -> non-zero for CI
+        out = capsys.readouterr().out
+        assert "tmro-deadline" in out
+        key = next(
+            line.split()[-1] for line in out.splitlines()
+            if line.strip().startswith("[")
+        )
+        # The reproducer is listed in the store index...
+        assert main(["results", "list", "--results-dir",
+                     str(tmp_path)]) == 0
+        listing = capsys.readouterr().out
+        assert key in listing
+        assert "fuzz-repro" in listing
+        # ...and replays to the same violation (fault restored from
+        # the recipe — none is active here).
+        assert main(["fuzz", "--replay", key,
+                     "--results-dir", str(tmp_path)]) == 1
+        assert "tmro-deadline" in capsys.readouterr().out
+
+    def test_replay_unknown_key(self, capsys, tmp_path):
+        code = main(["fuzz", "--replay", "deadbeefdeadbeef",
+                     "--results-dir", str(tmp_path)])
+        assert code == 2
+        assert "no fuzz reproducer" in capsys.readouterr().out
+
+
+class TestResultsCommands:
+    def test_results_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["results"])
+
+    def test_empty_store_lists_nothing(self, capsys, tmp_path):
+        assert main(["results", "list", "--results-dir",
+                     str(tmp_path)]) == 0
+        assert "no matching" in capsys.readouterr().out
+
+    def test_lists_scenario_artifacts_with_metadata(self, capsys,
+                                                    tmp_path):
+        assert main(["scenario", "run", "colocated_hammer_mcf",
+                     "--requests", "60",
+                     "--results-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["results", "list", "--results-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "colocated_hammer_mcf" in out
+        assert "scenario" in out
+        # Every row carries a timestamp and a git SHA column.
+        rows = [line for line in out.splitlines()[1:] if line.strip()]
+        assert rows
+        for row in rows:
+            assert "T" in row and "Z" in row  # ISO-8601 UTC timestamp
+
+    def test_kind_filter(self, capsys, tmp_path):
+        assert main(["scenario", "run", "colocated_hammer_mcf",
+                     "--requests", "60",
+                     "--results-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["results", "list", "--results-dir", str(tmp_path),
+                     "--kind", "scenario-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "@baseline" in out
+        assert main(["results", "list", "--results-dir", str(tmp_path),
+                     "--kind", "fuzz-repro"]) == 0
+        assert "no matching" in capsys.readouterr().out

@@ -141,6 +141,37 @@ class TestSeededEquivalence:
         )
 
 
+def _fuzzed_specs(seed=2026, count=8):
+    """Pinned-seed fuzzer candidates extending the equivalence matrix.
+
+    The scenario fuzzer's generator reaches configurations the
+    hand-written matrix above does not (phase-changing attackers,
+    attacker-vs-attacker bank sharing, MOP disabled, mixed topologies),
+    so a fixed sample of its space rides along here.
+    """
+    import random
+
+    from repro.scenarios.fuzz import mutate_spec, random_spec
+
+    rng = random.Random(seed)
+    return [mutate_spec(rng, random_spec(rng, index)) for index in range(count)]
+
+
+class TestFuzzedEquivalence:
+    @pytest.mark.parametrize("index", range(8))
+    def test_fuzzed_scenario_matrix(self, index):
+        from repro.workloads.compiled import compiled_source_traces
+
+        spec = _fuzzed_specs()[index]
+        compiled = compiled_source_traces(
+            spec.cores, REQUESTS, 0, spec.system.mapper()
+        )
+        traces = [entry.trace for entry in compiled]
+        assert_equivalent(
+            spec.system, traces, spec.defense, tmro_ns=spec.tmro_ns
+        )
+
+
 class TestCompiledPathInvariants:
     def test_precompiled_matches_on_the_fly(self):
         from repro.workloads.compiled import compile_traces

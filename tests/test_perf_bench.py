@@ -126,7 +126,7 @@ class TestMicrobenchEngines:
         assert {
             "ukernel_graphene", "ukernel_para", "ukernel_mithril",
             "ukernel_mint", "ukernel_prac", "ukernel_dsac",
-            "sweep_run_many", "colocated_attack",
+            "sweep_run_many", "colocated_attack", "scenario_invariants",
         } <= names
 
     def test_scenario_engine_row_runs(self):
@@ -139,6 +139,29 @@ class TestMicrobenchEngines:
         result = run_one(spec, 60, 1)
         assert result.cycles > 0
         assert result.cycles_per_sec > 0
+
+    def test_scenario_invariants_row_matches_unmonitored(self):
+        """The monitored row simulates the same run, just watched.
+
+        The checkpointed+monitored pass must not perturb simulation
+        semantics: its simulated cycle count equals the plain scenario
+        row's, so any throughput gap between the two artifact rows is
+        purely monitoring overhead.
+        """
+        from repro.bench import run_one, CANONICAL_BENCHMARKS
+
+        monitored_spec = next(
+            s for s in CANONICAL_BENCHMARKS
+            if s.name == "scenario_invariants"
+        )
+        plain_spec = next(
+            s for s in CANONICAL_BENCHMARKS if s.name == "colocated_attack"
+        )
+        assert monitored_spec.engine == "scenario-invariants"
+        monitored = run_one(monitored_spec, 60, 1)
+        plain = run_one(plain_spec, 60, 1)
+        assert monitored.cycles == plain.cycles
+        assert monitored.cycles_per_sec > 0
 
 
 class TestProfileCommand:

@@ -57,6 +57,31 @@ class TestCanonicalJson:
         with pytest.raises(ValueError, match="non-finite"):
             content_key({"x": float("nan")})
 
+    def test_random_scenario_recipes_key_deterministically(self):
+        """Fuzzer-generated specs hash stably through the store layer.
+
+        For every random spec: the run recipe is strict JSON (survives a
+        serialize/reload cycle byte-identically) and its content key is
+        insensitive to both dict key order and the spec's display name.
+        """
+        import dataclasses
+        import random
+
+        from repro.scenarios.fuzz import mutate_spec, random_spec
+
+        rng = random.Random(505)
+        for index in range(8):
+            spec = mutate_spec(rng, random_spec(rng, index))
+            recipe = scenario_run_recipe(spec, REQUESTS, 0)
+            text = canonical_json(recipe)
+            assert canonical_json(json.loads(text)) == text
+            assert content_key(json.loads(text)) == content_key(recipe)
+            renamed = dataclasses.replace(spec, name="other")
+            assert (
+                content_key(scenario_run_recipe(renamed, REQUESTS, 0))
+                == content_key(recipe)
+            )
+
 
 class TestBlobs:
     def test_put_get_roundtrip(self, tmp_path):

@@ -127,6 +127,74 @@ class TestScenarioSpec:
         assert profiles == ["add"] * 4 + ["copy"] * 3
 
 
+class TestRecipeProperties:
+    """Seeded property tests over randomly generated ScenarioSpecs.
+
+    The fuzzer's generator doubles as the property-test generator: its
+    specs cover phased attackers, mixed topologies and every defense
+    kind, so these four invariants of :meth:`ScenarioSpec.recipe` hold
+    across the whole reachable spec space, not just the presets.
+    """
+
+    def _random_specs(self, seed, count=12, mutations=2):
+        import random as random_module
+
+        from repro.scenarios.fuzz import mutate_spec, random_spec
+
+        rng = random_module.Random(seed)
+        specs = []
+        for index in range(count):
+            spec = random_spec(rng, index)
+            for _ in range(mutations):
+                spec = mutate_spec(rng, spec)
+            specs.append(spec)
+        return specs
+
+    def test_recipe_is_stable_per_spec(self):
+        for spec in self._random_specs(seed=101):
+            assert spec.recipe() == spec.recipe()
+            # Regeneration from the same seed produces the same recipe.
+        first = [s.recipe() for s in self._random_specs(seed=7)]
+        second = [s.recipe() for s in self._random_specs(seed=7)]
+        assert first == second
+
+    def test_recipe_round_trips(self):
+        from repro.scenarios import spec_from_recipe
+
+        for spec in self._random_specs(seed=202):
+            rebuilt = spec_from_recipe(spec.recipe(), name=spec.name)
+            assert rebuilt.recipe() == spec.recipe()
+            assert rebuilt.cores == spec.cores
+            assert rebuilt.system == spec.system
+            assert rebuilt.defense == spec.defense
+
+    def test_recipe_is_rename_invariant(self):
+        for spec in self._random_specs(seed=303, count=8):
+            renamed = dataclasses.replace(
+                spec, name="renamed", description="something else"
+            )
+            assert renamed.recipe() == spec.recipe()
+            assert (
+                scenario_config_hash(renamed, REQUESTS, 0)
+                == scenario_config_hash(spec, REQUESTS, 0)
+            )
+
+    def test_recipe_key_is_canonical_json_deterministic(self):
+        from repro.results.store import canonical_json, content_key
+
+        for spec in self._random_specs(seed=404, count=8):
+            recipe = spec.recipe()
+            # The recipe is strict JSON data: serializing and reloading
+            # it changes nothing, so the content key is reproducible
+            # from the stored blob alone.
+            reloaded = json.loads(canonical_json(recipe))
+            assert reloaded == recipe
+            assert content_key(reloaded) == content_key(recipe)
+            # Key order never matters.
+            shuffled = dict(reversed(list(recipe.items())))
+            assert content_key(shuffled) == content_key(recipe)
+
+
 class TestBenignEquivalence:
     """A benign ScenarioSpec is bit-identical to the legacy path."""
 
