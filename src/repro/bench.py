@@ -77,6 +77,12 @@ class BenchSpec:
       attached :class:`~repro.security.invariants.InvariantMonitor`
       with periodic checkpoints, so the cost of online checking is a
       tracked number rather than a guess.
+    * ``"distributed-sweep"`` — a small (workload x defense) grid
+      executed through the full :mod:`repro.distrib` machinery (queue
+      submit, claim, lease, checkpoint, store put, collect) with the
+      coordinator in degraded in-process mode — single-core CI safe,
+      so the row tracks the coordination overhead itself; ``cycles``
+      sums the simulated cycles of every task.
     """
 
     name: str
@@ -148,6 +154,9 @@ CANONICAL_BENCHMARKS: Sequence[BenchSpec] = (
               scheme="kernel", n_cores=1, engine="tracker-kernel"),
     BenchSpec("sweep_run_many", "mcf+add", tracker="graphene",
               scheme="impress-p", n_cores=2, engine="sweep",
+              fixed_requests=SWEEP_BENCH_REQUESTS),
+    BenchSpec("distributed_sweep", "mcf+add", tracker="graphene",
+              scheme="impress-p", n_cores=2, engine="distributed-sweep",
               fixed_requests=SWEEP_BENCH_REQUESTS),
     BenchSpec("colocated_attack", "colocated_hammer_mcf",
               tracker="graphene", scheme="impress-p", n_cores=8,
@@ -469,6 +478,51 @@ def _scenario_invariants_pass(spec: BenchSpec, n_requests: int):
     return timed_pass
 
 
+def _distributed_sweep_pass(spec: BenchSpec, n_requests: int):
+    """Timed-pass closure for the distributed-sweep throughput row.
+
+    Each pass runs the same grid shape as ``sweep_run_many`` through
+    the whole :mod:`repro.distrib` stack in a fresh temporary
+    directory: tasks submitted to a real filesystem queue, claimed and
+    executed through the lease/checkpoint path, results put into a
+    content-addressed store and collected.  No workers are spawned —
+    the coordinator's degraded serial mode executes in-process, which
+    keeps the row meaningful on single-core CI hosts and makes the gap
+    to ``sweep_run_many`` read directly as coordination overhead.
+    """
+    import tempfile
+
+    from .distrib.coordinator import run_distributed_sweep, shard_points
+    from .distrib.queue import FileWorkQueue
+    from .results.store import ResultStore
+    from .scenarios.spec import ScenarioSpec
+
+    workloads = spec.workload.split("+")
+    system = SystemConfig(n_cores=spec.n_cores, banks_per_channel=8)
+    defense = spec.defense()
+    specs = [
+        ScenarioSpec.benign(workload, system=system, defense=d)
+        for workload in workloads
+        for d in (None, defense)
+    ]
+    recipes = shard_points(specs, n_requests, 0)
+
+    def timed_pass() -> int:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            queue = FileWorkQueue(root / "queue")
+            store = ResultStore(root / "store")
+            outcome = run_distributed_sweep(
+                recipes, queue, store,
+                poll_s=0.0, serial_grace_s=0.0,
+            )
+            return sum(
+                result.elapsed_cycles for result in outcome.results
+            )
+
+    return timed_pass
+
+
 _ENGINE_PASSES = {
     "fast": _simulation_pass,
     "reference": _simulation_pass,
@@ -476,6 +530,7 @@ _ENGINE_PASSES = {
     "sweep": _sweep_pass,
     "scenario": _scenario_pass,
     "scenario-invariants": _scenario_invariants_pass,
+    "distributed-sweep": _distributed_sweep_pass,
 }
 
 

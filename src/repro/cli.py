@@ -25,9 +25,20 @@ Commands:
   online invariant monitor in both engines, shrinking any failure to a
   minimal stored reproducer (see docs/fuzzing.md); ``--replay KEY``
   re-runs a stored reproducer.
-* ``results`` — inspect the content-addressed result store:
-  ``list`` the recorded artifacts (name, key, kind, timestamp,
-  git SHA).
+* ``results`` — inspect and maintain the content-addressed result
+  store: ``list`` the recorded artifacts (name, key, kind, timestamp,
+  git SHA); ``gc`` deletes blobs unreferenced by the index plus stale
+  crash-debris temp files (``--dry-run`` reports reclaimable bytes).
+* ``sweep`` — execute a batch of scenario presets as content-addressed
+  tasks, serially or (``--distributed``) through the fault-tolerant
+  work queue with external ``repro worker`` processes (see
+  docs/distributed.md).
+* ``worker`` — the distributed-sweep worker loop: claim leased tasks
+  from a queue directory, simulate with periodic engine checkpoints,
+  put result blobs into the shared store.
+* ``queue`` — inspect the distributed work queue: ``status`` prints a
+  census (pending/claimed/done/poisoned, live leases, poison
+  tracebacks); ``drain`` cancels all unfinished work.
 """
 
 from __future__ import annotations
@@ -424,6 +435,147 @@ def _cmd_results_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_results_gc(args: argparse.Namespace) -> int:
+    from .results.store import store_for
+
+    store = store_for(Path(args.results_dir))
+    if not store.root.is_dir():
+        print(f"no result store at {store.root}")
+        return 0
+    report = store.gc(dry_run=args.dry_run, tmp_grace_s=args.tmp_grace)
+    for line in report.summary_lines():
+        print(line)
+    return 0
+
+
+# -- distributed sweeps ----------------------------------------------------
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .distrib.coordinator import (
+        DistributedSweepError,
+        run_distributed_sweep,
+        run_serial_sweep,
+        shard_points,
+    )
+    from .results.store import store_for
+    from .scenarios import get_scenario
+
+    try:
+        specs = [get_scenario(name) for name in args.names]
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    recipes = shard_points(specs, args.requests, args.seed)
+    store = store_for(Path(args.results_dir))
+    stride = args.checkpoint_stride if args.checkpoint_stride > 0 else None
+    workers = []
+    try:
+        if not args.distributed:
+            outcome = run_serial_sweep(recipes, store)
+        else:
+            from .distrib.chaos import spawn_worker
+            from .distrib.queue import FileWorkQueue
+
+            queue_dir = Path(
+                args.queue_dir
+                if args.queue_dir is not None
+                else Path(args.results_dir) / "queue"
+            )
+            queue = FileWorkQueue(queue_dir, lease_s=args.lease)
+            for i in range(args.spawn_workers):
+                workers.append(spawn_worker(
+                    queue_dir, Path(args.results_dir), args.lease,
+                    stride or 0,
+                    log_path=queue_dir / f"worker-{i}.log",
+                ))
+            try:
+                outcome = run_distributed_sweep(
+                    recipes, queue, store,
+                    serial_grace_s=args.serial_grace,
+                    speculate_after_s=args.speculate_after,
+                    timeout_s=args.timeout,
+                    checkpoint_stride=stride,
+                )
+            except DistributedSweepError as exc:
+                print(f"error: {exc}")
+                return 1
+    finally:
+        for proc in workers:
+            try:
+                proc.wait(timeout=30.0)
+            except Exception:
+                proc.kill()
+    print(f"{'scenario':<26} {'task/result key':<18} {'cycles':>12}")
+    for spec, key, result in zip(
+        specs, outcome.result_keys, outcome.results
+    ):
+        print(f"{spec.name:<26} {key:<18} {result.elapsed_cycles:>12,}")
+    for line in outcome.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .distrib.queue import FileWorkQueue
+    from .distrib.worker import run_worker
+    from .results.store import store_for
+
+    queue = FileWorkQueue(
+        Path(args.queue_dir),
+        lease_s=args.lease,
+        max_attempts=args.max_attempts,
+    )
+    store = store_for(Path(args.results_dir))
+    stride = args.checkpoint_stride if args.checkpoint_stride > 0 else None
+    try:
+        summary = run_worker(
+            queue, store,
+            max_tasks=args.max_tasks,
+            idle_exit_s=args.idle_exit,
+            checkpoint_stride=stride,
+            fault=args.fault,
+        )
+    except ValueError as exc:   # unknown --fault name
+        print(f"error: {exc.args[0]}")
+        return 2
+    print(f"worker {summary.owner}: {summary.executed} task(s) executed "
+          f"({summary.deduplicated} deduplicated), "
+          f"{summary.failed} failed")
+    return 1 if summary.failed else 0
+
+
+def _queue_at(queue_dir: str):
+    from .distrib.queue import FileWorkQueue
+
+    root = Path(queue_dir)
+    if not root.is_dir():
+        return None
+    return FileWorkQueue(root)
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    queue = _queue_at(args.queue_dir)
+    if queue is None:
+        print(f"no queue directory at {args.queue_dir}")
+        return 2
+    for line in queue.status().summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_queue_drain(args: argparse.Namespace) -> int:
+    queue = _queue_at(args.queue_dir)
+    if queue is None:
+        print(f"no queue directory at {args.queue_dir}")
+        return 2
+    removed = queue.drain()
+    print(f"drained: {removed['pending']} pending and "
+          f"{removed['claimed']} claimed marker(s) removed "
+          "(done/poison records kept)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -648,6 +800,140 @@ def build_parser() -> argparse.ArgumentParser:
         "--name", default=None, help="only entries aliased to this name"
     )
     results_list.set_defaults(func=_cmd_results_list)
+
+    results_gc = results_sub.add_parser(
+        "gc",
+        help="delete blobs unreferenced by the index and stale crash-"
+             "debris temp files; --dry-run reports reclaimable bytes",
+    )
+    results_gc.add_argument(
+        "--results-dir", default="results",
+        help="results directory holding the store (default: results/)",
+    )
+    results_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be reclaimed without deleting anything",
+    )
+    results_gc.add_argument(
+        "--tmp-grace", type=float, default=3600.0,
+        help="age (seconds) past which an unjudgeable *.tmp file "
+             "counts as stale (dead-pid temp files are always stale)",
+    )
+    results_gc.set_defaults(func=_cmd_results_gc)
+
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="execute scenario presets as content-addressed tasks, "
+             "serially or --distributed via the fault-tolerant queue",
+    )
+    sweep_cmd.add_argument(
+        "names", nargs="+", help="presets from `repro scenario list`"
+    )
+    sweep_cmd.add_argument("--requests", type=int, default=400,
+                           help="requests per core")
+    sweep_cmd.add_argument("--seed", type=int, default=0)
+    sweep_cmd.add_argument(
+        "--results-dir", default="results",
+        help="result blobs land in <dir>/store/ keyed by task recipe",
+    )
+    sweep_cmd.add_argument(
+        "--distributed", action="store_true",
+        help="submit tasks to the work queue and supervise external "
+             "`repro worker` processes instead of running in-process",
+    )
+    sweep_cmd.add_argument(
+        "--queue-dir", default=None,
+        help="work-queue directory (default: <results-dir>/queue)",
+    )
+    sweep_cmd.add_argument(
+        "--spawn-workers", type=int, default=0, metavar="N",
+        help="convenience: launch N local `repro worker` subprocesses "
+             "against the queue for the duration of the sweep",
+    )
+    sweep_cmd.add_argument(
+        "--lease", type=float, default=30.0,
+        help="lease seconds before an unheartbeaten claim is reclaimed",
+    )
+    sweep_cmd.add_argument(
+        "--checkpoint-stride", type=int, default=50_000,
+        help="cycles between engine checkpoints (0 disables)",
+    )
+    sweep_cmd.add_argument(
+        "--serial-grace", type=float, default=5.0,
+        help="seconds with no worker activity before the coordinator "
+             "degrades to executing tasks in-process",
+    )
+    sweep_cmd.add_argument(
+        "--speculate-after", type=float, default=None, metavar="S",
+        help="re-dispatch a straggler still running after S seconds "
+             "(the loser's identical result deduplicates)",
+    )
+    sweep_cmd.add_argument(
+        "--timeout", type=float, default=None,
+        help="fail the sweep after this many seconds",
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    worker_cmd = sub.add_parser(
+        "worker",
+        help="distributed-sweep worker: claim leased tasks, simulate "
+             "with checkpoints, put result blobs into the store",
+    )
+    worker_cmd.add_argument(
+        "--queue-dir", required=True,
+        help="work-queue directory shared with the coordinator",
+    )
+    worker_cmd.add_argument(
+        "--results-dir", default="results",
+        help="results directory holding the shared store",
+    )
+    worker_cmd.add_argument(
+        "--lease", type=float, default=30.0,
+        help="lease seconds (heartbeats refresh at a third of this)",
+    )
+    worker_cmd.add_argument(
+        "--max-attempts", type=int, default=4,
+        help="failures/expiries before a task is poisoned",
+    )
+    worker_cmd.add_argument(
+        "--checkpoint-stride", type=int, default=50_000,
+        help="cycles between engine checkpoints (0 disables)",
+    )
+    worker_cmd.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after executing this many tasks",
+    )
+    worker_cmd.add_argument(
+        "--idle-exit", type=float, default=10.0,
+        help="exit after this many seconds without finding work",
+    )
+    worker_cmd.add_argument(
+        "--fault", default=None,
+        help="inject a known process-layer chaos fault (see "
+             "repro.security.faults; test/chaos use only)",
+    )
+    worker_cmd.set_defaults(func=_cmd_worker)
+
+    queue_cmd = sub.add_parser(
+        "queue",
+        help="inspect or drain the distributed work queue",
+    )
+    queue_sub = queue_cmd.add_subparsers(
+        dest="queue_command", required=True
+    )
+    queue_status = queue_sub.add_parser(
+        "status",
+        help="census: pending/claimed/done/poisoned counts, live "
+             "leases with deadlines, poison-list tracebacks",
+    )
+    queue_status.add_argument("--queue-dir", required=True)
+    queue_status.set_defaults(func=_cmd_queue_status)
+    queue_drain = queue_sub.add_parser(
+        "drain",
+        help="cancel all unfinished work (keeps done/poison records)",
+    )
+    queue_drain.add_argument("--queue-dir", required=True)
+    queue_drain.set_defaults(func=_cmd_queue_drain)
     return parser
 
 

@@ -1,0 +1,322 @@
+"""Sweep coordinator: shard, submit, supervise, collect.
+
+The coordinator is deliberately *not* in the data path: workers talk
+to the queue and the store directly, so the coordinator can crash and
+restart at any point — resubmitting the same sweep finds every task
+(and every finished result blob) exactly where it left off, because
+task ids are content keys.
+
+Supervision is a polling loop over queue state:
+
+* **Reclaim** — expired or corrupt leases go back to ``pending`` with
+  backoff (``FileWorkQueue.reclaim_expired``).
+* **Speculation** — a claim that has been running far longer than its
+  peers (``speculate_after_s``) is re-dispatched while the original
+  keeps running; whichever execution finishes first wins, the loser's
+  byte-identical result deduplicates.
+* **Degraded serial mode** — when no worker ever shows any sign of
+  life within ``serial_grace_s``, the coordinator stops waiting and
+  executes the tasks itself, in-process, through the *same*
+  claim → execute → complete path.  A sweep therefore always
+  completes; distribution is an optimization, not a dependency.
+* **Poison** — a task that keeps failing is quarantined by the queue;
+  the coordinator surfaces it as :class:`DistributedSweepError` with
+  the stored tracebacks rather than spinning forever.
+
+Results are collected in submission order, read back from the store by
+the content keys the ``done`` records carry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..results.store import ResultStore
+from ..sim.stats import SimResult
+from .queue import FileWorkQueue, Task
+from .worker import (
+    DEFAULT_CHECKPOINT_STRIDE,
+    TASK_KIND,
+    execute_claimed_task,
+    result_alias,
+    sweep_task_recipe,
+)
+
+
+class DistributedSweepError(RuntimeError):
+    """A distributed sweep cannot complete (poisoned tasks, timeout).
+
+    Carries the queue's poison records so the operator sees the actual
+    worker tracebacks, not just "it failed".
+    """
+
+    def __init__(
+        self, message: str, poison: Optional[List[Dict[str, Any]]] = None
+    ) -> None:
+        self.poison = list(poison or [])
+        details = ""
+        if self.poison:
+            details = "".join(
+                f"\n  task {entry.get('task_id', '?')} "
+                f"({entry.get('attempts', '?')} attempts): "
+                f"{(entry.get('error') or '?').strip().splitlines()[-1]}"
+                for entry in self.poison
+            )
+        super().__init__(message + details)
+
+
+def shard_points(
+    specs: Iterable[Any], n_requests: int, seed: int
+) -> List[Dict[str, Any]]:
+    """Expand sweep points into one task recipe per point.
+
+    ``specs`` are :class:`~repro.scenarios.spec.ScenarioSpec` objects
+    (anything with a ``recipe()`` method) or already-explicit scenario
+    recipe dicts — the forms a :class:`ScenarioGrid` expansion or a
+    hand-built batch naturally produces.  The task granularity *is*
+    the sweep point: one simulation per task keeps leases short and
+    retries cheap, and the store deduplicates across sweeps anyway.
+    """
+    recipes = []
+    for spec in specs:
+        scenario = spec.recipe() if hasattr(spec, "recipe") else dict(spec)
+        recipes.append(sweep_task_recipe(scenario, n_requests, seed))
+    return recipes
+
+
+@dataclass
+class SweepOutcome:
+    """A completed sweep: results in submission order, plus how it went."""
+
+    task_ids: List[str]
+    result_keys: List[str]
+    results: List[SimResult]
+    degraded: bool = False            # coordinator ran tasks in-process
+    reclaimed: int = 0                # expired-lease reclaims observed
+    speculated: int = 0               # straggler re-dispatches issued
+    duration_s: float = 0.0
+    mode: str = "distributed"         # "serial" | "distributed" | degraded
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable wrap-up for the CLI."""
+        lines = [
+            f"{len(self.results)} task(s) completed ({self.mode} mode) "
+            f"in {self.duration_s:.2f}s"
+        ]
+        if self.reclaimed:
+            lines.append(f"  {self.reclaimed} expired lease(s) reclaimed")
+        if self.speculated:
+            lines.append(f"  {self.speculated} straggler(s) speculated")
+        return lines
+
+
+def run_serial_sweep(
+    recipes: Sequence[Dict[str, Any]],
+    store: ResultStore,
+) -> SweepOutcome:
+    """Execute task recipes in-process, serially, against the store.
+
+    The reference the chaos harness compares against: same recipes,
+    same store addressing, no queue at all.  Blobs written here must
+    be byte-identical to what any distributed execution produces.
+    """
+    from .worker import build_simulator
+
+    started = time.monotonic()
+    task_ids: List[str] = []
+    result_keys: List[str] = []
+    results: List[SimResult] = []
+    for recipe in recipes:
+        from ..results.store import content_key
+
+        task_id = content_key(recipe)
+        payload = store.fetch(recipe)
+        if payload is None:
+            result = build_simulator(recipe).run()
+            payload = result.to_json()
+        else:
+            result = SimResult.from_json(payload)
+        key, _path, _created = store.put(
+            recipe, payload, name=result_alias(task_id), kind=TASK_KIND,
+            meta={"owner": "serial"},
+        )
+        task_ids.append(task_id)
+        result_keys.append(key)
+        results.append(result)
+    return SweepOutcome(
+        task_ids=task_ids,
+        result_keys=result_keys,
+        results=results,
+        degraded=False,
+        duration_s=time.monotonic() - started,
+        mode="serial",
+    )
+
+
+def _collect(
+    queue: FileWorkQueue,
+    store: ResultStore,
+    tasks: Sequence[Task],
+) -> tuple:
+    """Read every done task's result back (keys + parsed results)."""
+    result_keys: List[str] = []
+    results: List[SimResult] = []
+    for task in tasks:
+        record = queue.done_record(task.task_id)
+        if record is None:
+            raise DistributedSweepError(
+                f"task {task.task_id} has no done record at collection"
+            )
+        key = record.get("result_key", task.task_id)
+        payload = store.get(key)
+        if payload is None:
+            # The done record survived but the blob did not (operator
+            # deleted the store?).  Recompute serially — correctness
+            # over cleverness.
+            result = _recompute(task, store)
+        else:
+            result = SimResult.from_json(payload)
+        result_keys.append(key)
+        results.append(result)
+    return result_keys, results
+
+
+def _recompute(task: Task, store: ResultStore) -> SimResult:
+    """Serial fallback for a done task whose blob went missing."""
+    from .worker import build_simulator
+
+    result = build_simulator(task.recipe).run()
+    store.put(
+        task.recipe, result.to_json(),
+        name=result_alias(task.task_id), kind=TASK_KIND,
+        meta={"owner": "collector-recompute"},
+    )
+    return result
+
+
+def run_distributed_sweep(
+    recipes: Sequence[Dict[str, Any]],
+    queue: FileWorkQueue,
+    store: ResultStore,
+    poll_s: float = 0.05,
+    serial_grace_s: float = 5.0,
+    speculate_after_s: Optional[float] = None,
+    timeout_s: Optional[float] = None,
+    checkpoint_stride: Optional[int] = DEFAULT_CHECKPOINT_STRIDE,
+) -> SweepOutcome:
+    """Submit task recipes and supervise until every one is terminal.
+
+    Workers are *external*: anything running ``repro worker`` against
+    the same queue/store directories.  The coordinator only submits,
+    reclaims, speculates, and — when ``serial_grace_s`` elapses with
+    no sign of any worker — degrades to executing the remaining tasks
+    itself through the identical claim path.  Raises
+    :class:`DistributedSweepError` on poisoned tasks or ``timeout_s``.
+    """
+    started = time.monotonic()
+    tasks = [queue.submit(recipe) for recipe in recipes]
+    wanted = {task.task_id for task in tasks}
+    reclaimed_total = 0
+    speculated_total = 0
+    degraded = False
+    worker_seen = False
+
+    def _progress() -> tuple:
+        """(done, poisoned, claimed-by-others) among *our* tasks."""
+        done = sum(
+            1 for task in tasks
+            if queue.done_record(task.task_id) is not None
+        )
+        poisoned = [
+            record for task in tasks
+            if (record := queue.poison_record(task.task_id)) is not None
+        ]
+        return done, poisoned
+
+    baseline_done, _ = _progress()
+    while True:
+        done, poisoned = _progress()
+        if poisoned:
+            raise DistributedSweepError(
+                f"{len(poisoned)} task(s) poisoned after repeated "
+                "failures",
+                poison=poisoned,
+            )
+        if done == len(tasks):
+            break
+        if timeout_s is not None and (
+            time.monotonic() - started > timeout_s
+        ):
+            status = queue.status()
+            raise DistributedSweepError(
+                f"sweep timed out after {timeout_s:.1f}s "
+                f"({done}/{len(tasks)} done; " +
+                "; ".join(status.summary_lines()) + ")"
+            )
+        reclaimed_total += len([
+            task_id for task_id in queue.reclaim_expired()
+            if task_id in wanted
+        ])
+        status = queue.status()
+        if status.claimed or done > baseline_done:
+            worker_seen = True
+        if speculate_after_s is not None:
+            now = time.time()
+            for lease in status.leases:
+                if lease["task_id"] not in wanted:
+                    continue
+                if now - lease.get("claimed_at", now) > speculate_after_s:
+                    if queue.speculate(lease["task_id"]):
+                        speculated_total += 1
+        if (
+            not worker_seen
+            and time.monotonic() - started > serial_grace_s
+        ):
+            degraded = True
+            _drain_in_process(queue, store, wanted, checkpoint_stride)
+            continue  # loop re-checks done/poison and exits
+        time.sleep(poll_s)
+
+    result_keys, results = _collect(queue, store, tasks)
+    return SweepOutcome(
+        task_ids=[task.task_id for task in tasks],
+        result_keys=result_keys,
+        results=results,
+        degraded=degraded,
+        reclaimed=reclaimed_total,
+        speculated=speculated_total,
+        duration_s=time.monotonic() - started,
+        mode="degraded serial" if degraded else "distributed",
+    )
+
+
+def _drain_in_process(
+    queue: FileWorkQueue,
+    store: ResultStore,
+    wanted: set,
+    checkpoint_stride: Optional[int],
+) -> None:
+    """Degraded mode: the coordinator executes claimable tasks itself.
+
+    Same claim → execute → complete path a worker takes, so a worker
+    that appears mid-drain cooperates instead of conflicting — the
+    queue's rename semantics and the store's dedup don't care who the
+    executor is.
+    """
+    owner = "coordinator-serial"
+    while True:
+        queue.reclaim_expired()
+        claimed = queue.claim(owner, want=wanted)
+        if claimed is None:
+            return
+        try:
+            execute_claimed_task(
+                queue, store, claimed,
+                checkpoint_stride=checkpoint_stride,
+            )
+        except Exception:
+            import traceback
+
+            queue.fail(claimed.task_id, owner, traceback.format_exc())

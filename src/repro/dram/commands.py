@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Dict
 
 
 class CommandKind(enum.Enum):
@@ -83,3 +84,15 @@ class CommandCounts:
             refreshes=self.refreshes + other.refreshes,
             rfms=self.rfms + other.rfms,
         )
+
+    def to_json(self) -> Dict[str, int]:
+        """Plain-int dict, the exact field set back to :meth:`from_json`."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, int]) -> "CommandCounts":
+        """Inverse of :meth:`to_json` (bit-exact: every field is int)."""
+        return cls(**{f: int(data[f]) for f in (
+            "demand_acts", "mitigative_acts", "precharges", "reads",
+            "writes", "refreshes", "rfms",
+        )})

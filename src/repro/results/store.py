@@ -28,6 +28,14 @@ Corruption is handled by construction: a blob that fails to parse (or
 whose embedded key disagrees with its filename) reads as a miss and is
 rewritten on the next ``put``; a corrupt index reads as empty and is
 rebuilt by the next alias write (blobs stay retrievable by key).
+
+Crash debris is handled by :meth:`ResultStore.sweep_stale_tmp` (a
+writer killed between the temp write and the rename leaves a ``*.tmp``
+file behind forever — swept on the first write through a store instance
+and by ``gc``) and :meth:`ResultStore.gc` (blobs no index entry or
+indexed payload references — e.g. superseded checkpoint blobs from
+retried distributed tasks — are deleted; ``dry_run`` only reports the
+reclaimable bytes).
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ import os
 import subprocess
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
@@ -51,6 +60,32 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 #: Blob/index schema version; a bump makes every existing entry a miss
 #: so stale layouts are never misread.
 STORE_VERSION = 1
+
+#: How long an orphaned ``*.tmp`` file whose writer pid cannot be
+#: liveness-checked (another host, unparseable name) survives before
+#: the stale sweep removes it.
+STALE_TMP_GRACE_S = 3600.0
+
+#: Default deadline for acquiring the index lock; a stalled (not dead)
+#: holder must surface as an error, not an indefinite hang.
+DEFAULT_LOCK_TIMEOUT_S = 10.0
+
+
+class StoreLockTimeout(TimeoutError):
+    """The index lock could not be acquired before the deadline.
+
+    Carries the lock path so the operator can find the stalled holder
+    (``fuser <path>`` / the pid in any in-flight ``*.tmp`` names).
+    """
+
+    def __init__(self, lock_path: Path, timeout_s: float) -> None:
+        self.lock_path = Path(lock_path)
+        self.timeout_s = timeout_s
+        super().__init__(
+            f"could not acquire index lock {lock_path} within "
+            f"{timeout_s:.1f}s; another process holds it (stalled "
+            "writer?)"
+        )
 
 
 def _check_finite(value: Any, path: str = "$") -> None:
@@ -115,6 +150,13 @@ def git_sha() -> str:
 
 _TMP_COUNTER = itertools.count()
 
+#: Test-only crash hook: when set, called after the temp write and
+#: before the rename in :func:`_atomic_write`.  The chaos harness
+#: points it at ``os._exit`` to simulate a writer dying mid-``put`` —
+#: the exact window that leaves an orphaned ``*.tmp`` behind.  Never
+#: set in production code.
+_CRASH_AFTER_TMP_WRITE = None
+
 
 def _atomic_write(path: Path, text: str) -> None:
     """Write via a sibling temp file + rename, so a crash mid-write
@@ -126,7 +168,32 @@ def _atomic_write(path: Path, text: str) -> None:
         f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
     )
     tmp.write_text(text)
+    if _CRASH_AFTER_TMP_WRITE is not None:
+        _CRASH_AFTER_TMP_WRITE()
     os.replace(tmp, path)
+
+
+def _tmp_writer_pid(path: Path) -> Optional[int]:
+    """The writer pid embedded in a ``*.tmp`` name, if parseable."""
+    parts = path.name.split(".")
+    # <original name>.<pid>.<counter>.tmp
+    if len(parts) < 4 or parts[-1] != "tmp":
+        return None
+    try:
+        return int(parts[-3])
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live process on this host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but owned by someone else
+    return True
 
 
 class ResultStore:
@@ -137,8 +204,14 @@ class ResultStore:
     never as exceptions — the caller's contract is "recompute on miss".
     """
 
-    def __init__(self, root: Path) -> None:
+    def __init__(
+        self,
+        root: Path,
+        lock_timeout_s: float = DEFAULT_LOCK_TIMEOUT_S,
+    ) -> None:
         self.root = Path(root)
+        self.lock_timeout_s = lock_timeout_s
+        self._tmp_swept = False
 
     @property
     def objects_dir(self) -> Path:
@@ -183,6 +256,7 @@ class ResultStore:
             "payload": payload,
         }
         _check_finite(blob)
+        self._sweep_on_open()
         path = self.blob_path(key)
         created = overwrite or self._load_blob(key) is None
         if created:
@@ -301,6 +375,28 @@ class ResultStore:
                 self.index_path, json.dumps(index, indent=2) + "\n"
             )
 
+    def unalias(self, name: str) -> int:
+        """Drop every index entry for ``name``; returns how many.
+
+        The blob(s) stay on disk — they merely become unreferenced, so
+        the next :meth:`gc` collects them.  This is how a distributed
+        worker retires a task's checkpoint alias once the final result
+        has landed: the superseded checkpoint blob turns into ordinary
+        garbage instead of accumulating forever.
+        """
+        with self._index_lock():
+            index = self._load_index()
+            before = len(index["entries"])
+            index["entries"] = [
+                e for e in index["entries"] if e.get("name") != name
+            ]
+            removed = before - len(index["entries"])
+            if removed:
+                _atomic_write(
+                    self.index_path, json.dumps(index, indent=2) + "\n"
+                )
+        return removed
+
     @contextmanager
     def _index_lock(self) -> Iterator[None]:
         """Serialize index read-modify-writes across processes.
@@ -310,17 +406,223 @@ class ResultStore:
         alias entries.  POSIX advisory lock on a sidecar file; a no-op
         where ``fcntl`` is unavailable (blobs are unaffected either
         way, and a lost alias self-heals on the next re-run).
+
+        The acquisition polls with a deadline
+        (:attr:`lock_timeout_s`): a *stalled* holder — alive but stuck,
+        so the lock never drops — surfaces as a
+        :class:`StoreLockTimeout` naming the lock path instead of
+        blocking every other writer indefinitely.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             yield
             return
-        with open(self.root / "index.lock", "w") as handle:
-            fcntl.flock(handle, fcntl.LOCK_EX)
+        lock_path = self.root / "index.lock"
+        with open(lock_path, "w") as handle:
+            deadline = time.monotonic() + self.lock_timeout_s
+            while True:
+                try:
+                    fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise StoreLockTimeout(
+                            lock_path, self.lock_timeout_s
+                        ) from None
+                    time.sleep(0.02)
             try:
                 yield
             finally:
                 fcntl.flock(handle, fcntl.LOCK_UN)
+
+    # -- garbage collection ----------------------------------------------
+
+    def _sweep_on_open(self) -> None:
+        """Once per store instance, clear crash debris before writing."""
+        if not self._tmp_swept:
+            self._tmp_swept = True
+            self.sweep_stale_tmp()
+
+    def sweep_stale_tmp(
+        self,
+        grace_s: float = STALE_TMP_GRACE_S,
+        now: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> List[Path]:
+        """Find (and unless ``dry_run``, delete) orphaned temp files.
+
+        A writer killed between the temp write and the rename in
+        :func:`_atomic_write` leaves its ``*.tmp`` file behind forever.
+        A temp file is stale when its embedded writer pid is dead on
+        this host, or — when the pid cannot be judged (other host,
+        foreign name) — when it is older than ``grace_s``.  Live
+        writers are never swept: their pid probes alive and their files
+        are seconds old.
+        """
+        if now is None:
+            now = time.time()
+        stale: List[Path] = []
+        for directory in (self.root, self.objects_dir):
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.tmp"):
+                pid = _tmp_writer_pid(path)
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue  # already gone
+                if pid is not None and not _pid_alive(pid):
+                    stale.append(path)
+                elif age > grace_s:
+                    stale.append(path)
+        if not dry_run:
+            for path in stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return stale
+
+    def referenced_keys(self) -> set:
+        """Every content key reachable from the index.
+
+        Index entries are the roots; payload fields ending in ``_key``
+        (e.g. a scenario blob's ``baseline_key``) are followed
+        transitively, so a blob referenced only from inside another
+        indexed artifact still counts as live.
+        """
+        live: set = set()
+        frontier = [
+            e["key"] for e in self.entries() if isinstance(e.get("key"), str)
+        ]
+        while frontier:
+            key = frontier.pop()
+            if key in live:
+                continue
+            live.add(key)
+            blob = self._load_blob(key)
+            if blob is not None:
+                frontier.extend(_payload_key_refs(blob.get("payload")))
+        return live
+
+    def gc(
+        self,
+        dry_run: bool = False,
+        tmp_grace_s: float = STALE_TMP_GRACE_S,
+    ) -> "GCReport":
+        """Delete blobs unreferenced by the index, plus stale temp files.
+
+        Returns a :class:`GCReport`; with ``dry_run`` nothing is
+        removed and the report shows what *would* be reclaimed.  Every
+        index-referenced artifact (directly, or via a ``*_key`` payload
+        reference) survives.  Typical garbage: checkpoint blobs whose
+        alias a completing distributed task dropped, and result blobs
+        whose alias history was pruned with :meth:`unalias`.
+        """
+        live = self.referenced_keys()
+        unreferenced: List[Tuple[str, int]] = []
+        if self.objects_dir.is_dir():
+            for path in sorted(self.objects_dir.glob("*.json")):
+                key = path.stem
+                if key in live:
+                    continue
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                unreferenced.append((key, size))
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        stale = self.sweep_stale_tmp(
+            grace_s=tmp_grace_s, dry_run=True
+        )
+        stale_sized: List[Tuple[Path, int]] = []
+        for path in stale:
+            try:
+                stale_sized.append((path, path.stat().st_size))
+            except OSError:
+                continue
+        if not dry_run:
+            for path, _size in stale_sized:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return GCReport(
+            dry_run=dry_run,
+            unreferenced_blobs=unreferenced,
+            stale_tmp=stale_sized,
+            live_blobs=len(live),
+        )
+
+
+_KEY_RE = None
+
+
+def _payload_key_refs(payload: Any) -> List[str]:
+    """Content keys referenced from inside a payload.
+
+    Any mapping field whose name ends in ``_key`` and whose value looks
+    like a content key (16 hex chars) is a reference — the convention
+    :mod:`repro.scenarios.run` established with ``baseline_key``.
+    Lists and nested mappings are walked; anything else is data.
+    """
+    global _KEY_RE
+    if _KEY_RE is None:
+        import re
+
+        _KEY_RE = re.compile(r"^[0-9a-f]{16}$")
+    refs: List[str] = []
+    if isinstance(payload, Mapping):
+        for field, value in payload.items():
+            if (
+                isinstance(field, str)
+                and field.endswith("_key")
+                and isinstance(value, str)
+                and _KEY_RE.match(value)
+            ):
+                refs.append(value)
+            else:
+                refs.extend(_payload_key_refs(value))
+    elif isinstance(payload, (list, tuple)):
+        for value in payload:
+            refs.extend(_payload_key_refs(value))
+    return refs
+
+
+@dataclass
+class GCReport:
+    """What one :meth:`ResultStore.gc` pass found (and maybe removed)."""
+
+    dry_run: bool
+    unreferenced_blobs: List[Tuple[str, int]]
+    stale_tmp: List[Tuple[Path, int]]
+    live_blobs: int
+
+    @property
+    def reclaimable_bytes(self) -> int:
+        """Total size of unreferenced blobs plus stale temp files."""
+        return sum(size for _key, size in self.unreferenced_blobs) + sum(
+            size for _path, size in self.stale_tmp
+        )
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report for ``repro results gc``."""
+        verb = "reclaimable" if self.dry_run else "reclaimed"
+        lines = [
+            f"{len(self.unreferenced_blobs)} unreferenced blob(s), "
+            f"{len(self.stale_tmp)} stale temp file(s): "
+            f"{self.reclaimable_bytes} bytes {verb} "
+            f"({self.live_blobs} referenced blob(s) kept)"
+        ]
+        for key, size in self.unreferenced_blobs:
+            lines.append(f"  blob {key} ({size} bytes)")
+        for path, size in self.stale_tmp:
+            lines.append(f"  tmp  {path.name} ({size} bytes)")
+        return lines
 
 
 def store_for(results_dir: Path) -> ResultStore:

@@ -21,6 +21,31 @@ Known faults:
     the *intended* tMRO independently from the raw nanosecond figure,
     so any workload that holds a row open between the intended and the
     lax limit trips the ``tmro-deadline`` invariant.
+
+**Process-layer faults** extend the same registry into the distributed
+sweep runtime (:mod:`repro.distrib`): instead of a wrong number, the
+planted bug is a crash or a stall at a protocol-critical instant.  The
+chaos harness injects them into *worker processes* (``repro worker
+--fault ...``) and asserts the sweep still completes with results
+bit-identical to a serial run:
+
+``worker-kill-mid-task``
+    The worker ``os._exit``\\ s right after writing its first engine
+    checkpoint — a SIGKILL-equivalent death mid-simulation, leaving an
+    expired-lease claim and a resumable checkpoint blob behind.
+
+``worker-kill-mid-put``
+    The worker dies *inside* the result store's atomic write, between
+    the temp-file write and the rename — the torn-write window.  The
+    store must read clean (the blob is simply missing) and ``gc`` must
+    sweep the orphaned temp file.
+
+``worker-freeze-heartbeat``
+    The worker's heartbeat thread stops refreshing the lease after the
+    first beat while the simulation keeps running — a straggler whose
+    lease expires under it.  The task is reclaimed and re-run
+    elsewhere; the frozen worker's late result deduplicates by content
+    key.
 """
 
 from __future__ import annotations
@@ -31,6 +56,12 @@ from typing import Iterator
 #: Fault names the registry accepts, mapped to one-line descriptions.
 KNOWN_FAULTS = {
     "lax-tmro": "express_tmro_cycles returns 4x the configured tMRO",
+    "worker-kill-mid-task":
+        "worker process dies right after its first checkpoint write",
+    "worker-kill-mid-put":
+        "worker dies between the result blob's temp write and rename",
+    "worker-freeze-heartbeat":
+        "worker's lease heartbeat freezes after the first beat",
 }
 
 #: Enforcement factor the ``lax-tmro`` fault applies.

@@ -85,6 +85,45 @@ class SimResult:
     def energy(self) -> EnergyBreakdown:
         return energy_of(self.counts, self.elapsed_cycles)
 
+    def to_json(self) -> Dict[str, object]:
+        """Exact (all-int) serialization for the result store.
+
+        The payload is a pure function of the simulation — no
+        timestamps, hosts or derived floats — so two runs of the same
+        recipe produce byte-identical canonical JSON.  That is what
+        lets the distributed sweep layer deduplicate retried tasks by
+        content key and lets chaos tests assert distributed blobs are
+        bit-identical to a serial run's.
+        """
+        return {
+            "elapsed_cycles": self.elapsed_cycles,
+            "core_cycles": list(self.core_cycles),
+            "core_requests": list(self.core_requests),
+            "counts": self.counts.to_json(),
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_conflicts": self.row_conflicts,
+            "rfm_mitigations": self.rfm_mitigations,
+            "tmro_closures": self.tmro_closures,
+            "core_demand_acts": list(self.core_demand_acts),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SimResult":
+        """Inverse of :meth:`to_json`; bit-exact round trip."""
+        return cls(
+            elapsed_cycles=int(data["elapsed_cycles"]),
+            core_cycles=[int(c) for c in data["core_cycles"]],
+            core_requests=[int(c) for c in data["core_requests"]],
+            counts=CommandCounts.from_json(data["counts"]),
+            row_hits=int(data["row_hits"]),
+            row_misses=int(data["row_misses"]),
+            row_conflicts=int(data["row_conflicts"]),
+            rfm_mitigations=int(data["rfm_mitigations"]),
+            tmro_closures=int(data["tmro_closures"]),
+            core_demand_acts=[int(c) for c in data["core_demand_acts"]],
+        )
+
     def summary(self) -> Dict[str, float]:
         return {
             "elapsed_cycles": float(self.elapsed_cycles),
