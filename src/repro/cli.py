@@ -442,7 +442,10 @@ def _cmd_results_gc(args: argparse.Namespace) -> int:
     if not store.root.is_dir():
         print(f"no result store at {store.root}")
         return 0
-    report = store.gc(dry_run=args.dry_run, tmp_grace_s=args.tmp_grace)
+    report = store.gc(
+        dry_run=args.dry_run, tmp_grace_s=args.tmp_grace,
+        blob_grace_s=args.blob_grace,
+    )
     for line in report.summary_lines():
         print(line)
     return 0
@@ -818,6 +821,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--tmp-grace", type=float, default=3600.0,
         help="age (seconds) past which an unjudgeable *.tmp file "
              "counts as stale (dead-pid temp files are always stale)",
+    )
+    results_gc.add_argument(
+        "--blob-grace", type=float, default=60.0,
+        help="age (seconds) below which an unreferenced blob is kept "
+             "— a concurrent writer may not have recorded its index "
+             "alias yet",
     )
     results_gc.set_defaults(func=_cmd_results_gc)
 

@@ -17,8 +17,13 @@ Supervision is a polling loop over queue state:
 * **Degraded serial mode** — when no worker ever shows any sign of
   life within ``serial_grace_s``, the coordinator stops waiting and
   executes the tasks itself, in-process, through the *same*
-  claim → execute → complete path.  A sweep therefore always
-  completes; distribution is an optimization, not a dependency.
+  claim → execute → complete path.  Degraded mode is sticky: once
+  entered, the coordinator keeps draining every poll (its own
+  completions make the queue look alive, so worker-liveness signals
+  are no longer consulted), and a task that fails into retry backoff
+  is retried by the coordinator itself until it succeeds or poisons.
+  A sweep therefore always completes; distribution is an
+  optimization, not a dependency.
 * **Poison** — a task that keeps failing is quarantined by the queue;
   the coordinator surfaces it as :class:`DistributedSweepError` with
   the stored tracebacks rather than spinning forever.
@@ -270,13 +275,23 @@ def run_distributed_sweep(
                 if now - lease.get("claimed_at", now) > speculate_after_s:
                     if queue.speculate(lease["task_id"]):
                         speculated_total += 1
-        if (
+        if degraded or (
             not worker_seen
             and time.monotonic() - started > serial_grace_s
         ):
+            # Once degraded, *stay* degraded: our own completions make
+            # the queue look alive (done counts rise, claims appear),
+            # but no worker exists to pick up a task that failed into
+            # retry backoff — the coordinator must keep draining until
+            # every task is done or poisoned.
             degraded = True
-            _drain_in_process(queue, store, wanted, checkpoint_stride)
-            continue  # loop re-checks done/poison and exits
+            executed = _drain_in_process(
+                queue, store, wanted, checkpoint_stride
+            )
+            if executed:
+                continue  # progress made: re-check done/poison now
+            # Nothing claimable (every open task is in retry backoff):
+            # fall through to the poll sleep instead of busy-spinning.
         time.sleep(poll_s)
 
     result_keys, results = _collect(queue, store, tasks)
@@ -297,20 +312,24 @@ def _drain_in_process(
     store: ResultStore,
     wanted: set,
     checkpoint_stride: Optional[int],
-) -> None:
+) -> int:
     """Degraded mode: the coordinator executes claimable tasks itself.
 
     Same claim → execute → complete path a worker takes, so a worker
     that appears mid-drain cooperates instead of conflicting — the
     queue's rename semantics and the store's dedup don't care who the
-    executor is.
+    executor is.  Returns how many claims were processed (success or
+    failure); zero means every open task is waiting out a retry
+    backoff, so the caller should sleep rather than spin.
     """
     owner = "coordinator-serial"
+    executed = 0
     while True:
         queue.reclaim_expired()
         claimed = queue.claim(owner, want=wanted)
         if claimed is None:
-            return
+            return executed
+        executed += 1
         try:
             execute_claimed_task(
                 queue, store, claimed,

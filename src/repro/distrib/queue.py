@@ -37,9 +37,17 @@ worker processes on any host that can see the filesystem:
     ``max_attempts`` times is quarantined here with its traceback
     instead of looping forever.
 
-Every state transition is a single ``os.rename`` (one winner) followed
-by a tolerant atomic rewrite; every read path treats a missing,
-partial, or corrupt file as recoverable state, never as an exception.
+Every state transition is a single ``os.rename`` (one winner).  The
+transitions back to ``pending`` (fail, reclaim, speculate) write the
+retry state into the claim file *before* the rename, so the rename is
+the only visible step — a pending file never briefly holds stale lease
+JSON, and nothing is rewritten after the rename (which could resurrect
+a file a faster claimant already moved).  The one exception is
+claiming itself: the winner can only write its lease *after* the
+rename, so a claim file may briefly hold non-lease JSON — readers
+treat that like a torn write, judged by the mtime corrupt-grace.
+Every read path treats a missing, partial, or corrupt file as
+recoverable state, never as an exception.
 """
 
 from __future__ import annotations
@@ -248,9 +256,14 @@ class FileWorkQueue:
         The claim itself is ``rename(pending/<id>, claimed/<id>)`` —
         atomic, exactly one winner under any number of concurrent
         claimants — after which the winner rewrites the claim file
-        with its lease.  A crash in between leaves a claim file
-        without a readable lease, which the corrupt-grace reclaim path
-        recovers.  Tasks still inside their retry backoff are skipped,
+        with its lease.  Until that rewrite lands the claim file still
+        holds the pending-state JSON (no ``owner``/``deadline``);
+        :meth:`reclaim_expired` treats that like a torn write and
+        leaves it alone inside the corrupt-grace window, so a claim is
+        never reclaimed out from under its winner mid-handshake — and
+        a claimant that truly dies in the window is recovered once the
+        grace expires.  Tasks still inside their retry backoff are
+        skipped,
         as is anything outside ``want`` (a coordinator draining only
         its own sweep on a shared queue).
         """
@@ -377,15 +390,19 @@ class FileWorkQueue:
                 from_state="claimed",
             )
             return "poison"
-        try:
-            os.rename(claimed_path, self._path("pending", task_id))
-        except OSError:
-            return "lost"
-        _atomic_write_json(self._path("pending", task_id), {
+        # Retry state goes into the claim file *before* the rename, so
+        # the rename is the single visible transition: the pending file
+        # never holds the old lease JSON (which a concurrent claimant
+        # would read as zero backoff).
+        _atomic_write_json(claimed_path, {
             "attempts": attempts,
             "not_before": now + self._backoff(attempts),
             "last_error": error,
         })
+        try:
+            os.rename(claimed_path, self._path("pending", task_id))
+        except OSError:
+            return "lost"
         return "pending"
 
     def _quarantine(
@@ -433,12 +450,16 @@ class FileWorkQueue:
     def reclaim_expired(self, now: Optional[float] = None) -> List[str]:
         """Return expired/corrupt claims to ``pending`` (or poison).
 
-        A claim is expired when its lease deadline has passed, or —
-        when the file is unreadable (torn write, corruption) — when
-        its mtime is older than ``corrupt_grace_s``.  The reclaim
-        rename has exactly one winner, so concurrent supervisors never
-        double-bump ``attempts``.  Claims whose task already has a
-        ``done`` record are simply released.
+        A claim is expired when its lease deadline has passed.  A claim
+        file that holds no lease — unreadable (torn write, corruption)
+        *or* readable but lacking ``owner``/``deadline`` (a claim or
+        retry transition caught between its rewrite and its rename) —
+        is judged by mtime instead: left alone inside
+        ``corrupt_grace_s`` (the transition is probably in flight) and
+        reclaimed past it (the transitioning process died).  The
+        reclaim rename has exactly one winner, so concurrent
+        supervisors never double-bump ``attempts``.  Claims whose task
+        already has a ``done`` record are simply released.
         """
         if now is None:
             now = time.time()
@@ -452,23 +473,26 @@ class FileWorkQueue:
                     pass
                 continue
             lease = _read_json(claimed_path)
-            if lease is None:
+            if lease is None or "owner" not in lease or "deadline" not in lease:
                 try:
                     age = now - claimed_path.stat().st_mtime
                 except OSError:
                     continue
                 if age < self.corrupt_grace_s:
-                    continue  # might be a claim mid-rewrite
-                attempts = 1  # unknowable; assume first try
+                    continue  # a transition might be mid-flight
+                if lease is None:
+                    attempts = 1  # unknowable; assume first try
+                    error = "claim file unreadable (corrupt)"
+                else:
+                    # Pending-style JSON: the claimant (attempt
+                    # ``attempts + 1``) died before writing its lease.
+                    attempts = int(lease.get("attempts", 0)) + 1
+                    error = "claim interrupted before its lease was written"
             else:
                 if lease.get("deadline", 0.0) > now:
                     continue
                 attempts = int(lease.get("attempts", 1))
-            error = (
-                "lease expired (worker died or stalled)"
-                if lease is not None
-                else "claim file unreadable (corrupt)"
-            )
+                error = "lease expired (worker died or stalled)"
             if attempts >= self.max_attempts:
                 self._quarantine(
                     task_id, attempts=attempts, error=error,
@@ -477,15 +501,17 @@ class FileWorkQueue:
                 reclaimed.append(task_id)
                 continue
             pending_path = self._path("pending", task_id)
-            try:
-                os.rename(claimed_path, pending_path)
-            except OSError:
-                continue  # another supervisor won
-            _atomic_write_json(pending_path, {
+            # Retry state goes into the claim file *before* the rename
+            # (the same single-visible-transition discipline as fail()).
+            _atomic_write_json(claimed_path, {
                 "attempts": attempts,
                 "not_before": now + self._backoff(attempts),
                 "last_error": error,
             })
+            try:
+                os.rename(claimed_path, pending_path)
+            except OSError:
+                continue  # another supervisor won
             reclaimed.append(task_id)
         return reclaimed
 
@@ -507,15 +533,19 @@ class FileWorkQueue:
         if lease is None or self._path("done", task_id).is_file():
             return False
         pending_path = self._path("pending", task_id)
-        try:
-            os.rename(claimed_path, pending_path)
-        except OSError:
-            return False
-        _atomic_write_json(pending_path, {
+        # Re-dispatch state goes into the claim file *before* the
+        # rename (the same single-visible-transition discipline as
+        # fail()): the pending file is born claimable at the preserved
+        # attempt count, never briefly holding the stale lease.
+        _atomic_write_json(claimed_path, {
             "attempts": max(0, int(lease.get("attempts", 1)) - 1),
             "not_before": now,
             "speculative": True,
         })
+        try:
+            os.rename(claimed_path, pending_path)
+        except OSError:
+            return False
         return True
 
     # -- introspection ---------------------------------------------------

@@ -34,8 +34,9 @@ writer killed between the temp write and the rename leaves a ``*.tmp``
 file behind forever — swept on the first write through a store instance
 and by ``gc``) and :meth:`ResultStore.gc` (blobs no index entry or
 indexed payload references — e.g. superseded checkpoint blobs from
-retried distributed tasks — are deleted; ``dry_run`` only reports the
-reclaimable bytes).
+retried distributed tasks — are deleted under the index lock, sparing
+blobs younger than a grace age whose alias may still be in flight;
+``dry_run`` only reports the reclaimable bytes).
 """
 
 from __future__ import annotations
@@ -69,6 +70,12 @@ STALE_TMP_GRACE_S = 3600.0
 #: Default deadline for acquiring the index lock; a stalled (not dead)
 #: holder must surface as an error, not an indefinite hang.
 DEFAULT_LOCK_TIMEOUT_S = 10.0
+
+#: How young an unreferenced blob must be for ``gc`` to leave it
+#: alone: ``put`` writes the blob *before* recording its alias, so a
+#: just-written blob is legitimately unreferenced for a moment — a
+#: concurrent gc must not discard fresh work in that window.
+DEFAULT_GC_BLOB_GRACE_S = 60.0
 
 
 class StoreLockTimeout(TimeoutError):
@@ -489,7 +496,9 @@ class ResultStore:
         Index entries are the roots; payload fields ending in ``_key``
         (e.g. a scenario blob's ``baseline_key``) are followed
         transitively, so a blob referenced only from inside another
-        indexed artifact still counts as live.
+        indexed artifact still counts as live.  Callers that act on
+        the answer (like :meth:`gc`) should hold :meth:`_index_lock`
+        so the index cannot change between the scan and the action.
         """
         live: set = set()
         frontier = [
@@ -509,6 +518,8 @@ class ResultStore:
         self,
         dry_run: bool = False,
         tmp_grace_s: float = STALE_TMP_GRACE_S,
+        blob_grace_s: float = DEFAULT_GC_BLOB_GRACE_S,
+        now: Optional[float] = None,
     ) -> "GCReport":
         """Delete blobs unreferenced by the index, plus stale temp files.
 
@@ -518,24 +529,36 @@ class ResultStore:
         reference) survives.  Typical garbage: checkpoint blobs whose
         alias a completing distributed task dropped, and result blobs
         whose alias history was pruned with :meth:`unalias`.
+
+        Safe next to live writers: the index lock is held across the
+        reference scan and the deletions, so no alias can land between
+        "unreferenced" being decided and the blob being removed — and
+        because ``put`` writes a blob *before* its alias (outside the
+        lock), unreferenced blobs younger than ``blob_grace_s`` are
+        kept, never mistaking an in-flight write for garbage.
         """
-        live = self.referenced_keys()
+        if now is None:
+            now = time.time()
         unreferenced: List[Tuple[str, int]] = []
-        if self.objects_dir.is_dir():
-            for path in sorted(self.objects_dir.glob("*.json")):
-                key = path.stem
-                if key in live:
-                    continue
-                try:
-                    size = path.stat().st_size
-                except OSError:
-                    continue
-                unreferenced.append((key, size))
-                if not dry_run:
+        with self._index_lock():
+            live = self.referenced_keys()
+            if self.objects_dir.is_dir():
+                for path in sorted(self.objects_dir.glob("*.json")):
+                    key = path.stem
+                    if key in live:
+                        continue
                     try:
-                        path.unlink()
+                        stat = path.stat()
                     except OSError:
-                        pass
+                        continue
+                    if now - stat.st_mtime < blob_grace_s:
+                        continue  # writer may not have aliased it yet
+                    unreferenced.append((key, stat.st_size))
+                    if not dry_run:
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
         stale = self.sweep_stale_tmp(
             grace_s=tmp_grace_s, dry_run=True
         )

@@ -186,6 +186,21 @@ class TestTerminal:
         assert "boom" in record["error"]
         assert queue.claim("w1", now=now + 3.0) is None
 
+    def test_fail_leaves_pending_with_retry_state_only(self, tmp_path):
+        # The rename back to pending is the single visible transition:
+        # the pending file must be born holding the retry state, never
+        # the old lease (which a concurrent claimant would read as a
+        # task with zero backoff).
+        queue = make_queue(tmp_path, backoff_base_s=10.0)
+        task = queue.submit(recipe(1))
+        queue.claim("w1", now=1000.0)
+        queue.fail(task.task_id, "w1", "boom", now=1000.0)
+        state = _read_json(queue._path("pending", task.task_id))
+        assert state["attempts"] == 1
+        assert state["not_before"] == pytest.approx(1010.0)
+        assert "owner" not in state
+        assert "deadline" not in state
+
     def test_fail_after_losing_claim(self, tmp_path):
         queue = make_queue(tmp_path)
         task = queue.submit(recipe(1))
@@ -226,6 +241,34 @@ class TestReclaim:
         os.utime(path, (stamp, stamp))
         assert queue.reclaim_expired(now=time.time()) == [task.task_id]
         assert queue.claim("w2", now=time.time() + 60.0) is not None
+
+    def test_mid_claim_handshake_not_instantly_reclaimed(self, tmp_path):
+        import os
+
+        queue = make_queue(tmp_path, corrupt_grace_s=2.0)
+        task = queue.submit(recipe(1))
+        # Freeze a claim mid-handshake: the pending file has been
+        # renamed into claimed/ but the winner has not yet written its
+        # lease, so the claim file holds pending-state JSON (readable,
+        # but no owner/deadline).
+        os.rename(
+            queue._path("pending", task.task_id),
+            queue._path("claimed", task.task_id),
+        )
+        # Inside the grace window the handshake may still be in
+        # flight — reclaiming now would steal the claim from its
+        # winner the instant it was made.
+        assert queue.reclaim_expired(now=time.time()) == []
+        assert queue._path("claimed", task.task_id).is_file()
+        # Past the grace the claimant is dead mid-handshake; the task
+        # is recovered, with the interrupted attempt counted.
+        path = queue._path("claimed", task.task_id)
+        stamp = time.time() - 10.0
+        os.utime(path, (stamp, stamp))
+        assert queue.reclaim_expired(now=time.time()) == [task.task_id]
+        retry = queue.claim("w2", now=time.time() + 60.0)
+        assert retry is not None
+        assert retry.attempts == 2
 
     def test_claim_for_done_task_is_released_not_requeued(self, tmp_path):
         queue = make_queue(tmp_path)

@@ -105,6 +105,46 @@ class TestSerialAndDegraded:
         for a, b in zip(serial.results, outcome.results):
             assert a.to_json() == b.to_json()
 
+    def test_degraded_sweep_retries_transient_failure(
+        self, tmp_path, monkeypatch
+    ):
+        # The mixed case: one task succeeds, another fails its first
+        # attempt.  The coordinator's own completion used to flip the
+        # worker-liveness signal, so the degraded drain never ran again
+        # and the retrying task waited forever for a worker that did
+        # not exist.  Degraded mode must stay sticky: keep draining
+        # through the backoff until the retry succeeds.
+        import repro.distrib.coordinator as coordinator_mod
+
+        recipes = small_recipes()
+        flaky_id = content_key(recipes[1])
+        real_execute = coordinator_mod.execute_claimed_task
+        injected = []
+
+        def flaky_execute(queue, store, claimed, **kwargs):
+            if claimed.task_id == flaky_id and not injected:
+                injected.append(claimed.task_id)
+                raise RuntimeError("transient chaos")
+            return real_execute(queue, store, claimed, **kwargs)
+
+        monkeypatch.setattr(
+            coordinator_mod, "execute_claimed_task", flaky_execute
+        )
+        queue = FileWorkQueue(tmp_path / "queue", backoff_base_s=0.05)
+        store = store_for(tmp_path)
+        outcome = run_distributed_sweep(
+            recipes, queue, store, poll_s=0.01, serial_grace_s=0.0,
+            timeout_s=30.0,
+        )
+        assert injected  # the failure actually fired
+        assert outcome.degraded
+        assert len(outcome.results) == len(recipes)
+        serial = run_serial_sweep(recipes, store_for(tmp_path / "serial"))
+        assert outcome.result_keys == serial.result_keys
+        for key in serial.result_keys:
+            assert blob_bytes(store_for(tmp_path / "serial"), key) == \
+                blob_bytes(store, key)
+
     def test_resubmitted_sweep_reuses_done_tasks(self, tmp_path):
         recipes = small_recipes()
         queue = FileWorkQueue(tmp_path / "queue")
@@ -276,12 +316,14 @@ class TestCheckpointResume:
         checkpoint_key = content_key(checkpoint_recipe(task_id))
         assert store.blob_path(checkpoint_key).is_file()
         # ...so gc reports it as reclaimable, removes it, and keeps the
-        # still-aliased result blob fetchable.
-        dry = store.gc(dry_run=True)
+        # still-aliased result blob fetchable.  (blob_grace_s=0: the
+        # checkpoint blob is seconds old, and the grace that protects
+        # in-flight writers would otherwise spare it.)
+        dry = store.gc(dry_run=True, blob_grace_s=0.0)
         assert checkpoint_key in [key for key, _ in dry.unreferenced_blobs]
         assert dry.reclaimable_bytes > 0
         assert store.blob_path(checkpoint_key).is_file()
-        real = store.gc()
+        real = store.gc(blob_grace_s=0.0)
         assert checkpoint_key in [key for key, _ in real.unreferenced_blobs]
         assert not store.blob_path(checkpoint_key).is_file()
         assert store.get(task_id) is not None

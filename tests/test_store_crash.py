@@ -134,6 +134,10 @@ class TestLockTimeout:
                 store.alias("blocked", "0" * 16, "result")
             assert str(root / "index.lock") in str(excinfo.value)
             assert excinfo.value.timeout_s == pytest.approx(0.3)
+            # gc takes the same lock (its unreferenced-scan must not
+            # race alias writers), so it times out identically.
+            with pytest.raises(StoreLockTimeout):
+                store.gc(blob_grace_s=0.0)
         finally:
             holder.kill()
             holder.wait()
@@ -142,6 +146,24 @@ class TestLockTimeout:
         store = ResultStore(tmp_path / "store", lock_timeout_s=5.0)
         store.alias("free", "1" * 16, "result")   # uncontended: no raise
         assert store.latest("free")["key"] == "1" * 16
+
+
+class TestGcBlobGrace:
+    def test_fresh_unreferenced_blob_survives_the_grace(self, tmp_path):
+        store = store_for(tmp_path)
+        key, path, _created = store.put(
+            {"kind": "gc-grace", "n": 1}, {"value": 1}
+        )
+        # No alias yet: unreferenced, but seconds old.  ``put`` writes
+        # the blob before its alias, so a concurrent gc must treat it
+        # as an in-flight write and keep it under the default grace.
+        report = store.gc()
+        assert key not in [k for k, _size in report.unreferenced_blobs]
+        assert path.is_file()
+        # Past the grace it is ordinary garbage.
+        report = store.gc(blob_grace_s=0.0)
+        assert key in [k for k, _size in report.unreferenced_blobs]
+        assert not path.is_file()
 
 
 class TestStaleTmpSweep:
