@@ -28,7 +28,8 @@ Commands:
 * ``results`` — inspect and maintain the content-addressed result
   store: ``list`` the recorded artifacts (name, key, kind, timestamp,
   git SHA); ``gc`` deletes blobs unreferenced by the index plus stale
-  crash-debris temp files (``--dry-run`` reports reclaimable bytes).
+  crash-debris temp files (``--dry-run`` reports reclaimable bytes,
+  ``--json`` emits the machine-readable report).
 * ``sweep`` — execute a batch of scenario presets as content-addressed
   tasks, serially or (``--distributed``) through the fault-tolerant
   work queue with external ``repro worker`` processes (see
@@ -38,7 +39,13 @@ Commands:
   put result blobs into the shared store.
 * ``queue`` — inspect the distributed work queue: ``status`` prints a
   census (pending/claimed/done/poisoned, live leases, poison
-  tracebacks); ``drain`` cancels all unfinished work.
+  tracebacks; ``--json`` for machines); ``drain`` cancels all
+  unfinished work.
+* ``serve`` — long-lived request daemon over the queue + store stack:
+  write-ahead journaled crash recovery, admission control with
+  Retry-After shedding, graceful SIGTERM drain (see docs/serving.md).
+* ``request`` — submit one scenario request to a running daemon with
+  deadline/retry/backoff semantics and idempotent resubmission.
 """
 
 from __future__ import annotations
@@ -446,6 +453,11 @@ def _cmd_results_gc(args: argparse.Namespace) -> int:
         dry_run=args.dry_run, tmp_grace_s=args.tmp_grace,
         blob_grace_s=args.blob_grace,
     )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+        return 0
     for line in report.summary_lines():
         print(line)
     return 0
@@ -521,7 +533,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from .distrib.queue import FileWorkQueue
-    from .distrib.worker import run_worker
+    from .distrib.worker import install_shutdown_handler, run_worker
     from .results.store import store_for
 
     queue = FileWorkQueue(
@@ -531,6 +543,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     store = store_for(Path(args.results_dir))
     stride = args.checkpoint_stride if args.checkpoint_stride > 0 else None
+    stop_event = install_shutdown_handler()
     try:
         summary = run_worker(
             queue, store,
@@ -538,14 +551,96 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             idle_exit_s=args.idle_exit,
             checkpoint_stride=stride,
             fault=args.fault,
+            stop_event=stop_event,
         )
     except ValueError as exc:   # unknown --fault name
         print(f"error: {exc.args[0]}")
         return 2
     print(f"worker {summary.owner}: {summary.executed} task(s) executed "
           f"({summary.deduplicated} deduplicated), "
-          f"{summary.failed} failed")
+          f"{summary.failed} failed"
+          + (f", {summary.released} released" if summary.released else "")
+          + (" [graceful shutdown]" if summary.stopped else ""))
     return 1 if summary.failed else 0
+
+
+# -- the serve daemon ------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .security import faults
+    from .serve.server import ServeDaemon
+
+    if args.fault is not None:
+        try:
+            faults.inject(args.fault)
+        except ValueError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+    stride = args.checkpoint_stride if args.checkpoint_stride > 0 else None
+    daemon = ServeDaemon(
+        Path(args.results_dir),
+        queue_dir=Path(args.queue_dir) if args.queue_dir else None,
+        host=args.host,
+        port=args.port,
+        lease_s=args.lease,
+        max_inflight=args.max_inflight,
+        max_waiters=args.max_waiters,
+        queue_watermark=args.queue_watermark,
+        journal_watermark=args.journal_watermark,
+        serial_grace_s=args.serial_grace,
+        checkpoint_stride=stride,
+        log=print,
+    )
+    replayed = daemon.start()
+    host, port = daemon.address
+    print(f"serving on http://{host}:{port} (pid {os.getpid()}, "
+          f"{replayed} journal entr{'y' if replayed == 1 else 'ies'} "
+          f"replayed); SIGTERM drains gracefully", flush=True)
+    drained = daemon.run(drain_timeout_s=args.drain_timeout)
+    return 0 if drained else 1
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    from .serve.client import DeadlineExceeded, ServeClient, ServeError
+    from .sim.stats import SimResult
+
+    try:
+        if args.host is not None:
+            if not args.port:
+                print("error: --host needs --port")
+                return 2
+            client = ServeClient(args.host, args.port)
+        else:
+            client = ServeClient.from_results_dir(Path(args.results_dir))
+        outcome = client.request(
+            {
+                "scenario": args.name,
+                "n_requests": args.requests,
+                "seed": args.seed,
+            },
+            deadline_s=args.deadline,
+            wait_s=args.wait,
+        )
+    except DeadlineExceeded as exc:
+        print(f"error: {exc}")
+        if exc.key:
+            print("the daemon keeps working; rerun the same request "
+                  "to pick the result up (resubmission is idempotent)")
+        return 3
+    except ServeError as exc:
+        print(f"error: {exc}")
+        return 2
+    result = SimResult.from_json(outcome.payload)
+    print(f"{args.name} -> key {outcome.key} ({outcome.source}, "
+          f"{outcome.elapsed_s:.2f}s; {outcome.submits} submit(s), "
+          f"{outcome.polls} poll(s), {outcome.retries} retr"
+          f"{'y' if outcome.retries == 1 else 'ies'})")
+    print(f"  elapsed {result.elapsed_cycles} cycles, "
+          f"hit rate {result.hit_rate:.3f}")
+    return 0
 
 
 def _queue_at(queue_dir: str):
@@ -562,7 +657,13 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
     if queue is None:
         print(f"no queue directory at {args.queue_dir}")
         return 2
-    for line in queue.status().summary_lines():
+    status = queue.status()
+    if args.json:
+        import json
+
+        print(json.dumps(status.to_json(), indent=2))
+        return 0
+    for line in status.summary_lines():
         print(line)
     return 0
 
@@ -828,6 +929,10 @@ def build_parser() -> argparse.ArgumentParser:
              "— a concurrent writer may not have recorded its index "
              "alias yet",
     )
+    results_gc.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable GC report instead of prose",
+    )
     results_gc.set_defaults(func=_cmd_results_gc)
 
     sweep_cmd = sub.add_parser(
@@ -936,6 +1041,10 @@ def build_parser() -> argparse.ArgumentParser:
              "leases with deadlines, poison-list tracebacks",
     )
     queue_status.add_argument("--queue-dir", required=True)
+    queue_status.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable census instead of prose",
+    )
     queue_status.set_defaults(func=_cmd_queue_status)
     queue_drain = queue_sub.add_parser(
         "drain",
@@ -943,6 +1052,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     queue_drain.add_argument("--queue-dir", required=True)
     queue_drain.set_defaults(func=_cmd_queue_drain)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="long-lived request daemon over the queue + store: "
+             "journaled crash recovery, admission control, graceful "
+             "SIGTERM drain (see docs/serving.md)",
+    )
+    serve_cmd.add_argument(
+        "--results-dir", default="results",
+        help="results directory: store, journal and endpoint file all "
+             "live under it (default: results/)",
+    )
+    serve_cmd.add_argument(
+        "--queue-dir", default=None,
+        help="work-queue directory (default: <results-dir>/queue)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="0 picks a free port; the bound address is advertised in "
+             "<results-dir>/serve/endpoint.json",
+    )
+    serve_cmd.add_argument(
+        "--lease", type=float, default=30.0,
+        help="queue lease seconds for submitted tasks",
+    )
+    serve_cmd.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="admission: bound on concurrently-resolving requests",
+    )
+    serve_cmd.add_argument(
+        "--max-waiters", type=int, default=64,
+        help="admission: bound on handler threads parked in wait()",
+    )
+    serve_cmd.add_argument(
+        "--queue-watermark", type=int, default=256,
+        help="admission: shed new work past this many open queue tasks",
+    )
+    serve_cmd.add_argument(
+        "--journal-watermark", type=int, default=64,
+        help="admission: shed new work past this journal depth",
+    )
+    serve_cmd.add_argument(
+        "--serial-grace", type=float, default=2.0,
+        help="seconds with no worker progress before the daemon "
+             "executes requests in-process (sticky degraded mode)",
+    )
+    serve_cmd.add_argument(
+        "--checkpoint-stride", type=int, default=50_000,
+        help="cycles between engine checkpoints (0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout", type=float, default=None,
+        help="bound the SIGTERM graceful drain (default: wait for all "
+             "in-flight requests; unfinished ones stay journaled)",
+    )
+    serve_cmd.add_argument(
+        "--fault", default=None,
+        help="inject a known chaos fault (see repro.security.faults; "
+             "test/chaos use only)",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    request_cmd = sub.add_parser(
+        "request",
+        help="submit one scenario request to a running `repro serve` "
+             "daemon (deadline/retry semantics; resubmission is "
+             "idempotent by content key)",
+    )
+    request_cmd.add_argument(
+        "name", help="a preset from `repro scenario list`"
+    )
+    request_cmd.add_argument("--requests", type=int, default=400,
+                             help="requests per core")
+    request_cmd.add_argument("--seed", type=int, default=0)
+    request_cmd.add_argument(
+        "--results-dir", default="results",
+        help="discover the daemon via <dir>/serve/endpoint.json",
+    )
+    request_cmd.add_argument(
+        "--host", default=None,
+        help="connect directly instead of endpoint discovery "
+             "(requires --port)",
+    )
+    request_cmd.add_argument("--port", type=int, default=None)
+    request_cmd.add_argument(
+        "--deadline", type=float, default=120.0,
+        help="total client budget in seconds; on expiry the daemon "
+             "keeps working and rerunning the command picks it up",
+    )
+    request_cmd.add_argument(
+        "--wait", type=float, default=10.0,
+        help="per-round-trip server-side wait before a 202",
+    )
+    request_cmd.set_defaults(func=_cmd_request)
     return parser
 
 

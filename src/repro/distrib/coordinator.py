@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..results.store import ResultStore
+from ..results.store import ResultStore, with_lock_retry
 from ..sim.stats import SimResult
 from .queue import FileWorkQueue, Task
 from .worker import (
@@ -143,10 +143,10 @@ def run_serial_sweep(
             payload = result.to_json()
         else:
             result = SimResult.from_json(payload)
-        key, _path, _created = store.put(
+        key, _path, _created = with_lock_retry(lambda: store.put(
             recipe, payload, name=result_alias(task_id), kind=TASK_KIND,
             meta={"owner": "serial"},
-        )
+        ))
         task_ids.append(task_id)
         result_keys.append(key)
         results.append(result)
@@ -193,11 +193,11 @@ def _recompute(task: Task, store: ResultStore) -> SimResult:
     from .worker import build_simulator
 
     result = build_simulator(task.recipe).run()
-    store.put(
+    with_lock_retry(lambda: store.put(
         task.recipe, result.to_json(),
         name=result_alias(task.task_id), kind=TASK_KIND,
         meta={"owner": "collector-recompute"},
-    )
+    ))
     return result
 
 

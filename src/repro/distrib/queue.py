@@ -139,6 +139,19 @@ class QueueStatus:
         """Tasks not yet terminally done or poisoned."""
         return self.total_tasks - self.done - self.poisoned
 
+    def to_json(self) -> Dict[str, Any]:
+        """Machine-readable census for ``--json`` and ``/status``."""
+        return {
+            "pending": self.pending,
+            "claimed": self.claimed,
+            "done": self.done,
+            "poisoned": self.poisoned,
+            "total_tasks": self.total_tasks,
+            "open_tasks": self.open_tasks,
+            "leases": [dict(lease) for lease in self.leases],
+            "poison": [dict(entry) for entry in self.poison],
+        }
+
     def summary_lines(self) -> List[str]:
         """Human-readable census for the CLI."""
         lines = [
@@ -404,6 +417,39 @@ class FileWorkQueue:
         except OSError:
             return "lost"
         return "pending"
+
+    def release(
+        self, task_id: str, owner: str, now: Optional[float] = None
+    ) -> bool:
+        """Hand a live claim back to ``pending`` with no penalty.
+
+        The graceful-shutdown transition: a worker that received
+        SIGTERM mid-task finishes its current checkpoint stride and
+        *releases* — unlike :meth:`fail` or an expiry reclaim, the
+        attempt that was underway is uncounted (claiming bumped
+        ``attempts``; releasing decrements it back) and there is no
+        backoff, so the next worker picks the task up immediately and
+        resumes from the released worker's checkpoint.  Returns False
+        when this owner no longer holds the claim.
+        """
+        if now is None:
+            now = time.time()
+        claimed_path = self._path("claimed", task_id)
+        lease = _read_json(claimed_path)
+        if lease is None or lease.get("owner") != owner:
+            return False
+        # Same single-visible-transition discipline as fail(): the
+        # pending state lands in the claim file before the rename.
+        _atomic_write_json(claimed_path, {
+            "attempts": max(0, int(lease.get("attempts", 1)) - 1),
+            "not_before": now,
+            "released_by": owner,
+        })
+        try:
+            os.rename(claimed_path, self._path("pending", task_id))
+        except OSError:
+            return False
+        return True
 
     def _quarantine(
         self,

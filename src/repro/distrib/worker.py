@@ -36,6 +36,7 @@ from __future__ import annotations
 import base64
 import os
 import pickle
+import signal
 import threading
 import time
 import traceback
@@ -43,7 +44,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..results import store as store_mod
-from ..results.store import ResultStore
+from ..results.store import ResultStore, with_lock_retry
 from ..scenarios.spec import spec_from_recipe
 from ..security import faults
 from ..sim.stats import SimResult
@@ -64,6 +65,29 @@ DEFAULT_CHECKPOINT_STRIDE = 50_000
 #: can tell an injected death from a real crash.
 KILL_MID_TASK_EXIT = 43
 KILL_MID_PUT_EXIT = 44
+
+
+def install_shutdown_handler(
+    stop_event: Optional[threading.Event] = None,
+) -> threading.Event:
+    """SIGTERM/SIGINT set a stop event instead of killing the worker.
+
+    The graceful half of the worker's crash story: a *terminated*
+    worker (deploy rollover, scale-down) finishes its current
+    checkpoint stride, releases its claim back to ``pending`` with no
+    attempt penalty, and exits 0 — only a SIGKILL leaves a lease to
+    expire.  Must be called from the main thread (a signal-module
+    constraint); the CLI entry point does.
+    """
+    if stop_event is None:
+        stop_event = threading.Event()
+
+    def _handle(signum, frame):
+        stop_event.set()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    return stop_event
 
 
 def sweep_task_recipe(
@@ -223,12 +247,19 @@ def execute_claimed_task(
     claimed: ClaimedTask,
     checkpoint_stride: Optional[int] = DEFAULT_CHECKPOINT_STRIDE,
     heartbeat_interval_s: Optional[float] = None,
-) -> TaskExecution:
+    stop_event: Optional[threading.Event] = None,
+) -> Optional[TaskExecution]:
     """Run one claimed task to completion and mark it done.
 
     Raises on simulation failure (the caller translates that into
     ``queue.fail`` with the traceback).  ``checkpoint_stride=None``
     disables checkpointing (pure from-scratch execution).
+
+    A set ``stop_event`` (graceful shutdown) is honored at stride
+    boundaries: the just-written checkpoint makes the work-so-far
+    durable, the claim is *released* back to pending with no attempt
+    penalty (:meth:`FileWorkQueue.release`), and None is returned —
+    the next claimant resumes from that checkpoint.
     """
     task = claimed.task
     recipe = task.recipe
@@ -247,7 +278,7 @@ def execute_claimed_task(
             target = sim.now + checkpoint_stride
             while not sim.run_until(target):
                 snap = sim.snapshot()
-                store.put(
+                with_lock_retry(lambda: store.put(
                     checkpoint_recipe(task.task_id),
                     {
                         "task_id": task.task_id,
@@ -259,13 +290,18 @@ def execute_claimed_task(
                     kind=CHECKPOINT_KIND,
                     meta={"cycle": sim.now, "owner": claimed.owner},
                     overwrite=True,
-                )
+                ))
                 checkpoints += 1
                 if (
                     checkpoints == 1
                     and faults.fault_active("worker-kill-mid-task")
                 ):
                     os._exit(KILL_MID_TASK_EXIT)
+                if stop_event is not None and stop_event.is_set():
+                    # Graceful shutdown: the checkpoint just written
+                    # is the hand-off point.  Release, don't fail.
+                    queue.release(task.task_id, claimed.owner)
+                    return None
                 target += checkpoint_stride
         else:
             sim.run_until(None)
@@ -276,13 +312,13 @@ def execute_claimed_task(
                 lambda: os._exit(KILL_MID_PUT_EXIT)
             )
         try:
-            result_key, _path, created = store.put(
+            result_key, _path, created = with_lock_retry(lambda: store.put(
                 recipe,
                 result.to_json(),
                 name=result_alias(task.task_id),
                 kind=TASK_KIND,
                 meta={"owner": claimed.owner, "attempts": claimed.attempts},
-            )
+            ))
         finally:
             store_mod._CRASH_AFTER_TMP_WRITE = None
         if checkpoint_stride:
@@ -311,6 +347,8 @@ class WorkerSummary:
     executed: int = 0
     failed: int = 0
     deduplicated: int = 0
+    released: int = 0             # claims handed back on graceful stop
+    stopped: bool = False         # exited via SIGTERM/SIGINT
 
 
 def run_worker(
@@ -322,15 +360,20 @@ def run_worker(
     poll_s: float = 0.05,
     checkpoint_stride: Optional[int] = DEFAULT_CHECKPOINT_STRIDE,
     fault: Optional[str] = None,
+    stop_event: Optional[threading.Event] = None,
 ) -> WorkerSummary:
     """Claim-and-execute until the queue is drained (or idle too long).
 
     The loop also reclaims expired peers' leases each idle pass, so a
     fleet of bare workers makes progress even with no coordinator
     supervising.  Exits when every submitted task is terminal, after
-    ``idle_exit_s`` without finding work, or after ``max_tasks``
-    executions.  ``fault`` injects one named chaos fault process-wide
-    before the first claim (the ``repro worker --fault`` path).
+    ``idle_exit_s`` without finding work, after ``max_tasks``
+    executions, or — gracefully — when ``stop_event`` is set (SIGTERM
+    via :func:`install_shutdown_handler`): the in-flight task finishes
+    its checkpoint stride, its claim is released penalty-free, and the
+    summary reports ``stopped``.  ``fault`` injects one named chaos
+    fault process-wide before the first claim (the ``repro worker
+    --fault`` path).
     """
     if owner is None:
         owner = worker_identity()
@@ -339,6 +382,9 @@ def run_worker(
     summary = WorkerSummary(owner=owner)
     last_work = time.monotonic()
     while True:
+        if stop_event is not None and stop_event.is_set():
+            summary.stopped = True
+            break
         if max_tasks is not None and summary.executed >= max_tasks:
             break
         claimed = queue.claim(owner)
@@ -356,6 +402,7 @@ def run_worker(
             execution = execute_claimed_task(
                 queue, store, claimed,
                 checkpoint_stride=checkpoint_stride,
+                stop_event=stop_event,
             )
         except Exception:
             summary.failed += 1
@@ -363,6 +410,11 @@ def run_worker(
                 claimed.task_id, owner, traceback.format_exc()
             )
             continue
+        if execution is None:
+            # Graceful stop mid-task: claim already released.
+            summary.released += 1
+            summary.stopped = True
+            break
         summary.executed += 1
         if not execution.first_writer:
             summary.deduplicated += 1

@@ -46,6 +46,7 @@ import itertools
 import json
 import math
 import os
+import random
 import subprocess
 import time
 from contextlib import contextmanager
@@ -93,6 +94,43 @@ class StoreLockTimeout(TimeoutError):
             f"{timeout_s:.1f}s; another process holds it (stalled "
             "writer?)"
         )
+
+
+#: Bounds for :func:`with_lock_retry`'s jittered exponential backoff.
+DEFAULT_LOCK_RETRY_ATTEMPTS = 5
+DEFAULT_LOCK_RETRY_BASE_S = 0.05
+DEFAULT_LOCK_RETRY_MAX_S = 1.0
+
+
+def with_lock_retry(
+    fn,
+    attempts: int = DEFAULT_LOCK_RETRY_ATTEMPTS,
+    base_s: float = DEFAULT_LOCK_RETRY_BASE_S,
+    max_s: float = DEFAULT_LOCK_RETRY_MAX_S,
+    rng: Optional[random.Random] = None,
+    sleep=time.sleep,
+):
+    """Call ``fn``, retrying :class:`StoreLockTimeout` with backoff.
+
+    One contended ``flock`` on the index must not poison a task: a
+    worker's result-put or a coordinator's alias write that loses the
+    lock race retries up to ``attempts`` times with jittered
+    exponential delays (``base_s * 2**n``, capped at ``max_s``, scaled
+    by a uniform 0.5–1.5 jitter so colliding writers decorrelate).
+    The jitter never touches payload bytes — only *when* a write
+    happens, never *what* is written — so determinism claims are
+    unaffected.  The final attempt re-raises.
+    """
+    if rng is None:
+        rng = random.Random()
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except StoreLockTimeout:
+            if attempt >= attempts - 1:
+                raise
+            delay = min(base_s * (2 ** attempt), max_s)
+            sleep(delay * (0.5 + rng.random()))
 
 
 def _check_finite(value: Any, path: str = "$") -> None:
@@ -442,6 +480,30 @@ class ResultStore:
             finally:
                 fcntl.flock(handle, fcntl.LOCK_UN)
 
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """A cheap census for monitors: blob count/bytes, index size.
+
+        Consumed by the serve daemon's ``/status`` endpoint and usable
+        by anything watching store growth; one directory scan plus one
+        index read, no blob parsing.
+        """
+        blobs = 0
+        blob_bytes = 0
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*.json"):
+                try:
+                    blob_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                blobs += 1
+        return {
+            "blobs": blobs,
+            "blob_bytes": blob_bytes,
+            "index_entries": len(self._load_index()["entries"]),
+        }
+
     # -- garbage collection ----------------------------------------------
 
     def _sweep_on_open(self) -> None:
@@ -631,6 +693,22 @@ class GCReport:
         return sum(size for _key, size in self.unreferenced_blobs) + sum(
             size for _path, size in self.stale_tmp
         )
+
+    def to_json(self) -> Dict[str, Any]:
+        """Machine-readable report for ``repro results gc --json``."""
+        return {
+            "dry_run": self.dry_run,
+            "unreferenced_blobs": [
+                {"key": key, "bytes": size}
+                for key, size in self.unreferenced_blobs
+            ],
+            "stale_tmp": [
+                {"path": path.name, "bytes": size}
+                for path, size in self.stale_tmp
+            ],
+            "live_blobs": self.live_blobs,
+            "reclaimable_bytes": self.reclaimable_bytes,
+        }
 
     def summary_lines(self) -> List[str]:
         """Human-readable report for ``repro results gc``."""

@@ -46,6 +46,13 @@ bit-identical to a serial run:
     lease expires under it.  The task is reclaimed and re-run
     elsewhere; the frozen worker's late result deduplicates by content
     key.
+
+``serve-kill-mid-request``
+    The ``repro serve`` daemon ``os._exit``\\ s immediately after
+    writing a request's journal entry, before submitting or executing
+    anything — the exact window the write-ahead journal exists for.
+    A restarted daemon must replay the entry to completion with a
+    result blob byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -62,6 +69,9 @@ KNOWN_FAULTS = {
         "worker dies between the result blob's temp write and rename",
     "worker-freeze-heartbeat":
         "worker's lease heartbeat freezes after the first beat",
+    "serve-kill-mid-request":
+        "serve daemon dies after the journal write, before any "
+        "execution or result put",
 }
 
 #: Enforcement factor the ``lax-tmro`` fault applies.

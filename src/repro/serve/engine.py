@@ -1,0 +1,481 @@
+"""The serve daemon's request engine: admit, coalesce, execute, recover.
+
+The engine is the transport-free core of ``repro serve`` — the HTTP
+layer (:mod:`repro.serve.server`) is a thin adapter over it, which is
+what makes the robustness claims testable in-process:
+
+* **Write-ahead journal** — every accepted request is journaled
+  (:class:`~repro.serve.journal.RequestJournal`) *before* any work
+  starts and resolved only after the result blob is durably in the
+  store.  A SIGKILLed daemon replays the journal on restart through
+  the identical execution path; clients re-poll by content key.
+* **Coalescing** — requests are identified by the content key of
+  their task recipe (the same key PR 5's store and PR 7's queue use),
+  so N concurrent identical requests share one in-flight execution,
+  one journal entry, and one result blob.
+* **Admission control** — the in-flight set is bounded
+  (``max_inflight``), as are the handler threads parked on it
+  (``max_waiters``) and the backlog behind it (``queue_watermark`` on
+  open queue tasks, ``journal_watermark`` on journal depth).  Crossing
+  any watermark sheds the request with an explicit retry-after instead
+  of growing threads without bound.
+* **Execution** — a miss submits the task to the shared
+  :class:`~repro.distrib.queue.FileWorkQueue` and awaits the done
+  record, exactly like the sweep coordinator.  When no external worker
+  shows signs of life within ``serial_grace_s`` the engine turns
+  *sticky-degraded* (the coordinator's discipline) and executes claims
+  in-process through the same claim → execute → complete path, so a
+  request always completes; workers are an optimization.
+
+Deadlines are a property of the *wait*, not the work: a handler whose
+client deadline expires gets the content key back (202-style) while
+the resolver keeps running — the work is journaled, the result will
+land, and the client re-polls or resubmits idempotently.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..distrib.queue import FileWorkQueue, _read_json, worker_identity
+from ..distrib.worker import (
+    DEFAULT_CHECKPOINT_STRIDE,
+    TASK_KIND,
+    build_simulator,
+    execute_claimed_task,
+    result_alias,
+)
+from ..results.store import ResultStore, content_key, with_lock_retry
+from ..security import faults
+from .journal import RequestJournal
+
+#: Exit code the ``serve-kill-mid-request`` chaos fault dies with —
+#: right after the journal write, before any execution or result put.
+KILL_MID_REQUEST_EXIT = 45
+
+#: Default Retry-After (seconds) handed to shed clients.
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+class RequestShed(Exception):
+    """The request was refused by admission control (retry later)."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"request shed ({reason}); retry after {retry_after_s:.1f}s"
+        )
+
+
+class RequestFailed(Exception):
+    """The request's task failed terminally (poisoned); carries why."""
+
+
+@dataclass
+class InFlight:
+    """One admitted request: shared by every coalesced waiter."""
+
+    key: str
+    recipe: Dict[str, Any]
+    done: threading.Event = field(default_factory=threading.Event)
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    replayed: bool = False
+    accepted_at: float = field(default_factory=time.time)
+
+
+@dataclass
+class ServeStats:
+    """Monotonic counters surfaced by ``/status``."""
+
+    received: int = 0            # admission decisions taken
+    store_hits: int = 0          # answered straight from the store
+    coalesced: int = 0           # joined an existing in-flight request
+    accepted: int = 0            # new in-flight executions started
+    replayed: int = 0            # journal entries replayed on startup
+    shed: int = 0                # refused by admission control
+    completed: int = 0           # in-flight requests resolved OK
+    failed: int = 0              # in-flight requests resolved in error
+
+    def to_json(self) -> Dict[str, int]:
+        """Machine-readable counter snapshot."""
+        return {
+            "received": self.received,
+            "store_hits": self.store_hits,
+            "coalesced": self.coalesced,
+            "accepted": self.accepted,
+            "replayed": self.replayed,
+            "shed": self.shed,
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+
+
+class RequestEngine:
+    """Coalescing, journaled, admission-controlled request executor."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        queue: FileWorkQueue,
+        journal: RequestJournal,
+        max_inflight: int = 8,
+        max_waiters: int = 64,
+        queue_watermark: int = 256,
+        journal_watermark: int = 64,
+        serial_grace_s: float = 2.0,
+        poll_s: float = 0.05,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        checkpoint_stride: Optional[int] = DEFAULT_CHECKPOINT_STRIDE,
+        owner: Optional[str] = None,
+    ) -> None:
+        self.store = store
+        self.queue = queue
+        self.journal = journal
+        self.max_inflight = max_inflight
+        self.max_waiters = max_waiters
+        self.queue_watermark = queue_watermark
+        self.journal_watermark = journal_watermark
+        self.serial_grace_s = serial_grace_s
+        self.poll_s = poll_s
+        self.retry_after_s = retry_after_s
+        self.checkpoint_stride = checkpoint_stride
+        self.owner = owner or f"serve:{worker_identity()}"
+        self.stats = ServeStats()
+        self.degraded = False
+        self.draining = False
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, InFlight] = {}
+        self._waiters = 0
+        self._threads: List[threading.Thread] = []
+
+    # -- admission -------------------------------------------------------
+
+    def submit(
+        self, recipe: Mapping[str, Any]
+    ) -> Tuple[InFlight, str]:
+        """Admit one request; returns ``(entry, disposition)``.
+
+        Disposition is ``"hit"`` (already answerable from the store —
+        the entry is pre-resolved), ``"coalesced"`` (joined an
+        execution already in flight), or ``"accepted"`` (journaled and
+        started).  Raises :class:`RequestShed` when draining or over a
+        watermark — never queues unboundedly.
+        """
+        key = content_key(recipe)
+        payload = self.store.get(key)
+        if payload is not None:
+            with self._lock:
+                self.stats.received += 1
+                self.stats.store_hits += 1
+            entry = InFlight(key=key, recipe=dict(recipe))
+            entry.payload = payload
+            entry.done.set()
+            return entry, "hit"
+        with self._lock:
+            self.stats.received += 1
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.stats.coalesced += 1
+                return existing, "coalesced"
+            reason = self._shed_reason()
+            if reason is not None:
+                self.stats.shed += 1
+                raise RequestShed(reason, self.retry_after_s)
+            # The write-ahead step: once this returns, the request
+            # survives any crash — replay picks it up from here.
+            self.journal.record(key, recipe)
+            if faults.fault_active("serve-kill-mid-request"):
+                os._exit(KILL_MID_REQUEST_EXIT)
+            entry = InFlight(key=key, recipe=dict(recipe))
+            self._inflight[key] = entry
+            self.stats.accepted += 1
+            self._start_resolver(entry)
+            return entry, "accepted"
+
+    def _shed_reason(self) -> Optional[str]:
+        """Why a new request must be refused right now (None = admit).
+
+        Called under the lock.  Draining sheds everything; otherwise
+        each watermark is checked so the reason names the saturated
+        resource.
+        """
+        if self.draining:
+            return "draining"
+        if len(self._inflight) >= self.max_inflight:
+            return f"in-flight limit ({self.max_inflight}) reached"
+        if self.journal.depth() >= self.journal_watermark:
+            return f"journal depth over watermark ({self.journal_watermark})"
+        status = self.queue.status()
+        if status.open_tasks >= self.queue_watermark:
+            return f"queue depth over watermark ({self.queue_watermark})"
+        return None
+
+    def wait(
+        self, entry: InFlight, timeout_s: Optional[float]
+    ) -> Optional[Dict[str, Any]]:
+        """Wait for an admitted request's payload; None on deadline.
+
+        A None return is *not* failure: the execution continues and the
+        caller answers 202-style with the key for re-polling.  Raises
+        :class:`RequestFailed` when the task resolved in error, and
+        :class:`RequestShed` when the waiter cap is hit (a parked
+        handler thread is a resource too).
+        """
+        if entry.done.is_set():
+            return self._unwrap(entry)
+        with self._lock:
+            if self._waiters >= self.max_waiters:
+                self.stats.shed += 1
+                raise RequestShed(
+                    f"waiter limit ({self.max_waiters}) reached",
+                    self.retry_after_s,
+                )
+            self._waiters += 1
+        try:
+            finished = entry.done.wait(timeout_s)
+        finally:
+            with self._lock:
+                self._waiters -= 1
+        if not finished:
+            return None
+        return self._unwrap(entry)
+
+    @staticmethod
+    def _unwrap(entry: InFlight) -> Dict[str, Any]:
+        if entry.error is not None:
+            raise RequestFailed(entry.error)
+        assert entry.payload is not None
+        return entry.payload
+
+    # -- introspection ---------------------------------------------------
+
+    def lookup(
+        self, key: str
+    ) -> Tuple[str, Optional[Dict[str, Any]]]:
+        """Poll a request by content key: ``(state, payload)``.
+
+        States: ``"done"`` (payload attached), ``"pending"`` (in
+        flight or journaled — the answer will land), ``"failed"``
+        (poisoned task; the poison record rides as the payload), or
+        ``"unknown"``.
+        """
+        payload = self.store.get(key)
+        if payload is not None:
+            return "done", payload
+        with self._lock:
+            if key in self._inflight:
+                return "pending", None
+        poison = self.queue.poison_record(key)
+        if poison is not None:
+            return "failed", poison
+        if self.journal.entry(key) is not None:
+            return "pending", None
+        return "unknown", None
+
+    def inflight_keys(self) -> List[str]:
+        """Content keys currently executing (sorted)."""
+        with self._lock:
+            return sorted(self._inflight)
+
+    def status(self) -> Dict[str, Any]:
+        """The ``/status`` document: every robustness dial at once."""
+        with self._lock:
+            inflight = sorted(self._inflight)
+            waiters = self._waiters
+        return {
+            "owner": self.owner,
+            "draining": self.draining,
+            "degraded": self.degraded,
+            "inflight": inflight,
+            "waiters": waiters,
+            "stats": self.stats.to_json(),
+            "admission": {
+                "max_inflight": self.max_inflight,
+                "max_waiters": self.max_waiters,
+                "queue_watermark": self.queue_watermark,
+                "journal_watermark": self.journal_watermark,
+            },
+            "journal_depth": self.journal.depth(),
+            "queue": self.queue.status().to_json(),
+            "store": self.store.stats(),
+        }
+
+    # -- recovery --------------------------------------------------------
+
+    def replay_journal(self) -> int:
+        """Re-execute every journaled request (call before serving).
+
+        Entries whose result blob already landed (a crash between the
+        put and the journal resolve) are resolved without re-running.
+        Replayed entries bypass admission — they were accepted before
+        the crash — but occupy the in-flight set, so fresh traffic
+        sees them.  Returns how many entries went back in flight.
+        """
+        self.journal.discard_corrupt()
+        replayed = 0
+        for journal_entry in self.journal.entries():
+            payload = self.store.get(journal_entry.key)
+            if payload is not None:
+                self.journal.resolve(journal_entry.key)
+                continue
+            with self._lock:
+                if journal_entry.key in self._inflight:
+                    continue
+                entry = InFlight(
+                    key=journal_entry.key,
+                    recipe=journal_entry.recipe,
+                    replayed=True,
+                )
+                self._inflight[journal_entry.key] = entry
+                self.stats.replayed += 1
+                self._start_resolver(entry)
+            replayed += 1
+        return replayed
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop admitting; wait for in-flight work.  True when empty.
+
+        New submissions shed immediately.  Every in-flight request
+        either resolves within the timeout or stays journaled — an
+        accepted request is never silently dropped, so a False return
+        still leaves nothing unrecoverable behind.
+        """
+        with self._lock:
+            self.draining = True
+            entries = list(self._inflight.values())
+        deadline = (
+            None if timeout_s is None
+            else time.monotonic() + timeout_s
+        )
+        for entry in entries:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            entry.done.wait(remaining)
+        with self._lock:
+            return not self._inflight
+
+    # -- execution -------------------------------------------------------
+
+    def _start_resolver(self, entry: InFlight) -> None:
+        thread = threading.Thread(
+            target=self._resolve, args=(entry,), daemon=True,
+            name=f"resolve-{entry.key}",
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _resolve(self, entry: InFlight) -> None:
+        """Drive one request to a terminal state (resolver thread)."""
+        try:
+            entry.payload = self._execute(entry)
+            # The result blob is durable; only now may the journal
+            # entry die — the crash-recovery invariant.
+            self.journal.resolve(entry.key)
+            with self._lock:
+                self.stats.completed += 1
+        except Exception:
+            entry.error = traceback.format_exc()
+            # Terminal failure: the poison record (surfaced via
+            # lookup()) outlives the journal entry, which would
+            # otherwise replay a poisoned task forever.
+            self.journal.resolve(entry.key)
+            with self._lock:
+                self.stats.failed += 1
+        finally:
+            with self._lock:
+                self._inflight.pop(entry.key, None)
+            entry.done.set()
+
+    def _execute(self, entry: InFlight) -> Dict[str, Any]:
+        """Submit to the queue and supervise until the result lands.
+
+        The sweep coordinator's discipline, scoped to one task: poll
+        the done record, reclaim expired leases, and — when the task
+        shows no progress for ``serial_grace_s`` — turn sticky-degraded
+        and execute claims in-process through the identical
+        claim → execute → complete path.
+        """
+        queue = self.queue
+        queue.submit(entry.recipe)
+        last_progress = time.monotonic()
+        last_signature = self._progress_signature(entry.key)
+        while True:
+            record = queue.done_record(entry.key)
+            if record is not None:
+                key = record.get("result_key", entry.key)
+                payload = self.store.get(key)
+                if payload is None:
+                    # Done record without a blob (operator deleted the
+                    # store?): recompute in-process, same discipline as
+                    # the coordinator's collector.
+                    payload = self._recompute(entry)
+                return payload
+            poison = queue.poison_record(entry.key)
+            if poison is not None:
+                raise RequestFailed(
+                    f"task {entry.key} poisoned after "
+                    f"{poison.get('attempts', '?')} attempt(s):\n"
+                    f"{poison.get('error', '?')}"
+                )
+            queue.reclaim_expired()
+            signature = self._progress_signature(entry.key)
+            if signature != last_signature:
+                last_signature = signature
+                last_progress = time.monotonic()
+            if self.degraded or (
+                time.monotonic() - last_progress > self.serial_grace_s
+            ):
+                # Sticky, engine-wide: once no worker showed progress
+                # for one request, stop waiting for any of them.
+                self.degraded = True
+                claimed = queue.claim(self.owner, want={entry.key})
+                if claimed is not None:
+                    try:
+                        with_lock_retry(lambda: execute_claimed_task(
+                            queue, self.store, claimed,
+                            checkpoint_stride=self.checkpoint_stride,
+                        ))
+                    except Exception:
+                        queue.fail(
+                            entry.key, self.owner,
+                            traceback.format_exc(),
+                        )
+                    continue
+            time.sleep(self.poll_s)
+
+    def _progress_signature(self, key: str) -> Optional[Tuple]:
+        """What this task's claim looks like right now.
+
+        Any change — a claim appearing, a heartbeat landing, a retry
+        bumping attempts — counts as external progress and re-arms the
+        degrade grace period.  None when unclaimed.
+        """
+        lease = _read_json(self.queue._path("claimed", key))
+        if lease is None:
+            return None
+        return (
+            lease.get("owner"),
+            lease.get("attempts"),
+            lease.get("heartbeats"),
+        )
+
+    def _recompute(self, entry: InFlight) -> Dict[str, Any]:
+        """In-process fallback for a done task whose blob went missing."""
+        result = build_simulator(entry.recipe).run()
+        payload = result.to_json()
+        with_lock_retry(lambda: self.store.put(
+            entry.recipe, payload,
+            name=result_alias(entry.key), kind=TASK_KIND,
+            meta={"owner": self.owner},
+        ))
+        return payload

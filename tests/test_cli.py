@@ -251,3 +251,71 @@ class TestResultsCommands:
         assert main(["results", "list", "--results-dir", str(tmp_path),
                      "--kind", "fuzz-repro"]) == 0
         assert "no matching" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_queue_status_json(self, capsys, tmp_path):
+        import json
+
+        from repro.distrib.queue import FileWorkQueue
+
+        queue = FileWorkQueue(tmp_path / "queue")
+        queue.submit({"kind": "test-task", "n": 1})
+        queue.claim("w1")
+        assert main(["queue", "status", "--queue-dir",
+                     str(tmp_path / "queue"), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total_tasks"] == 1
+        assert doc["claimed"] == 1
+        assert doc["open_tasks"] == 1
+        assert doc["leases"][0]["owner"] == "w1"
+
+    def test_results_gc_json(self, capsys, tmp_path):
+        import json
+
+        from repro.results.store import store_for
+
+        store = store_for(tmp_path)
+        store.put({"kind": "t", "n": 1}, {"x": 1}, name="a", kind="t")
+        store.unalias("a")
+        assert main(["results", "gc", "--results-dir", str(tmp_path),
+                     "--dry-run", "--blob-grace", "0", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["dry_run"] is True
+        assert len(doc["unreferenced_blobs"]) == 1
+        assert doc["reclaimable_bytes"] > 0
+
+
+class TestServeParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0
+        assert args.max_inflight == 8
+        assert args.max_waiters == 64
+        assert args.queue_watermark == 256
+        assert args.journal_watermark == 64
+        assert args.drain_timeout is None
+        assert args.fault is None
+
+    def test_request_defaults(self):
+        args = build_parser().parse_args(["request", "benign_add_copy"])
+        assert args.name == "benign_add_copy"
+        assert args.requests == 400
+        assert args.deadline == 120.0
+        assert args.host is None
+
+    def test_serve_unknown_fault_is_an_error(self, capsys, tmp_path):
+        assert main(["serve", "--results-dir", str(tmp_path),
+                     "--fault", "bogus"]) == 2
+        assert "unknown fault" in capsys.readouterr().out
+
+    def test_request_host_without_port_is_an_error(self, capsys):
+        assert main(["request", "benign_add_copy",
+                     "--host", "127.0.0.1"]) == 2
+        assert "--port" in capsys.readouterr().out
+
+    def test_request_without_daemon_reports_unavailable(self, capsys,
+                                                        tmp_path):
+        assert main(["request", "benign_add_copy",
+                     "--results-dir", str(tmp_path)]) == 2
+        assert "repro serve" in capsys.readouterr().out

@@ -123,3 +123,43 @@ class TestChaosMatrix:
         assert_byte_identical(report)
         assert report.fault_fired
         assert report.notes  # records which claim was corrupted
+
+
+class TestGracefulWorkerShutdown:
+    def test_sigterm_releases_claim_and_exits_zero(self, tmp_path):
+        """SIGTERM = deploy rollover: release penalty-free, exit 0."""
+        import signal
+
+        from repro.distrib.chaos import spawn_worker, wait_for_claim
+        from repro.distrib.queue import FileWorkQueue, _read_json
+        from repro.distrib.worker import checkpoint_recipe
+
+        recipes = chaos_recipes()[:1]
+        queue = FileWorkQueue(tmp_path / "queue", lease_s=30.0)
+        store = store_for(tmp_path)
+        task_id = queue.submit(recipes[0]).task_id
+        proc = spawn_worker(
+            tmp_path / "queue", tmp_path, 30.0, 100_000,
+            log_path=tmp_path / "worker.log",
+        )
+        try:
+            wait_for_claim(queue, timeout_s=60.0)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30.0)
+        # The claim went back to pending with the attempt uncounted
+        # (not a lease expiry, not a failure) and the checkpoint is
+        # durable for the next claimant to resume from.
+        pending = _read_json(queue._path("pending", task_id))
+        assert pending is not None, "claim was not released to pending"
+        assert pending["attempts"] == 0
+        assert "released_by" in pending
+        assert queue.status().claimed == 0
+        checkpoint = store.fetch(checkpoint_recipe(task_id))
+        assert checkpoint is not None
+        log = (tmp_path / "worker.log").read_text()
+        assert "graceful shutdown" in log
+        assert "1 released" in log

@@ -359,3 +359,82 @@ class TestFailurePaths:
             )
         assert "timed out" in str(excinfo.value)
         assert "pending" in str(excinfo.value)
+
+
+class TestGracefulStop:
+    def test_stop_event_releases_at_stride_boundary(self, tmp_path):
+        """A pre-set stop event releases after the first checkpoint."""
+        import threading
+
+        recipe = checkpointable_recipe()
+        task_id = content_key(recipe)
+        queue = FileWorkQueue(tmp_path / "queue", lease_s=30.0)
+        store = store_for(tmp_path)
+        queue.submit(recipe)
+        stop = threading.Event()
+        stop.set()
+        claimed = queue.claim("w1")
+        execution = execute_claimed_task(
+            queue, store, claimed, checkpoint_stride=20_000,
+            stop_event=stop,
+        )
+        assert execution is None
+        # Claim handed back penalty-free, checkpoint durable.
+        status = queue.status()
+        assert status.pending == 1
+        assert status.claimed == 0
+        from repro.distrib.queue import _read_json
+
+        pending = _read_json(queue._path("pending", task_id))
+        assert pending["attempts"] == 0
+        assert pending["released_by"] == "w1"
+        checkpoint = store.fetch(checkpoint_recipe(task_id))
+        assert checkpoint is not None
+        assert checkpoint["cycle"] > 0
+
+    def test_released_task_resumes_and_matches_serial(self, tmp_path):
+        """stop → release → resume produces the serial bytes."""
+        import threading
+
+        recipe = checkpointable_recipe()
+        task_id = content_key(recipe)
+        serial_store = store_for(tmp_path / "serial")
+        run_serial_sweep([recipe], serial_store)
+        queue = FileWorkQueue(tmp_path / "queue", lease_s=30.0)
+        store = store_for(tmp_path / "dist")
+        queue.submit(recipe)
+        stop = threading.Event()
+        stop.set()
+        first = queue.claim("w1")
+        assert execute_claimed_task(
+            queue, store, first, checkpoint_stride=20_000,
+            stop_event=stop,
+        ) is None
+        second = queue.claim("w2")
+        execution = execute_claimed_task(
+            queue, store, second, checkpoint_stride=20_000,
+        )
+        assert execution is not None
+        assert execution.resumed_from_cycle is not None
+        assert execution.resumed_from_cycle > 0
+        assert (
+            store.blob_path(task_id).read_bytes()
+            == serial_store.blob_path(task_id).read_bytes()
+        )
+
+    def test_run_worker_reports_graceful_stop(self, tmp_path):
+        """run_worker with a pre-set stop event exits without claiming."""
+        import threading
+
+        queue = FileWorkQueue(tmp_path / "queue")
+        store = store_for(tmp_path)
+        queue.submit(checkpointable_recipe())
+        stop = threading.Event()
+        stop.set()
+        summary = run_worker(
+            queue, store, owner="w1", stop_event=stop, idle_exit_s=0.1,
+        )
+        assert summary.stopped
+        assert summary.executed == 0
+        assert summary.failed == 0
+        assert queue.status().pending == 1   # untouched

@@ -352,3 +352,83 @@ class TestReport:
             resolve_store(tmp_path / "x"), resolve_store(tmp_path / "y")
         )
         assert rows == []
+
+
+class TestLockRetry:
+    def test_transient_lock_timeouts_are_retried(self, tmp_path):
+        from repro.results.store import StoreLockTimeout, with_lock_retry
+
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise StoreLockTimeout(tmp_path / "lock", 0.1)
+            return "ok"
+
+        assert with_lock_retry(flaky, sleep=sleeps.append) == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+        # Jittered exponential: bounded by 0.5x-1.5x of base * 2**n.
+        assert 0.5 * 0.05 <= sleeps[0] <= 1.5 * 0.05
+        assert 0.5 * 0.10 <= sleeps[1] <= 1.5 * 0.10
+
+    def test_exhausted_attempts_reraise(self, tmp_path):
+        from repro.results.store import StoreLockTimeout, with_lock_retry
+
+        sleeps = []
+
+        def always_contended():
+            raise StoreLockTimeout(tmp_path / "lock", 0.1)
+
+        with pytest.raises(StoreLockTimeout):
+            with_lock_retry(
+                always_contended, attempts=3, sleep=sleeps.append
+            )
+        assert len(sleeps) == 2   # no sleep after the final attempt
+
+    def test_other_exceptions_pass_straight_through(self):
+        from repro.results.store import with_lock_retry
+
+        def broken():
+            raise ValueError("not a lock problem")
+
+        with pytest.raises(ValueError):
+            with_lock_retry(broken, sleep=lambda _s: None)
+
+
+class TestStoreStats:
+    def test_stats_counts_blobs_bytes_and_index(self, tmp_path):
+        store = store_for(tmp_path)
+        assert store.stats() == {
+            "blobs": 0, "blob_bytes": 0, "index_entries": 0,
+        }
+        store.put({"kind": "t", "n": 1}, {"x": 1}, name="a", kind="t")
+        store.put({"kind": "t", "n": 2}, {"x": 2}, name="b", kind="t")
+        stats = store.stats()
+        assert stats["blobs"] == 2
+        assert stats["index_entries"] == 2
+        assert stats["blob_bytes"] == sum(
+            p.stat().st_size for p in store.objects_dir.glob("*.json")
+        )
+
+
+class TestGCReportJson:
+    def test_to_json_names_every_reclaimable_item(self, tmp_path):
+        store = store_for(tmp_path)
+        key, _path, _created = store.put(
+            {"kind": "t", "n": 1}, {"x": 1}, name="a", kind="t"
+        )
+        store.unalias("a")
+        report = store.gc(dry_run=True, blob_grace_s=0.0)
+        doc = report.to_json()
+        assert doc["dry_run"] is True
+        assert doc["unreferenced_blobs"] == [{
+            "key": key,
+            "bytes": store.blob_path(key).stat().st_size,
+        }]
+        assert doc["stale_tmp"] == []
+        assert doc["live_blobs"] == 0
+        assert doc["reclaimable_bytes"] > 0
+        json.dumps(doc)   # round-trippable, no Path objects leak
