@@ -83,6 +83,15 @@ class BenchSpec:
       coordinator in degraded in-process mode — single-core CI safe,
       so the row tracks the coordination overhead itself; ``cycles``
       sums the simulated cycles of every task.
+    * ``"serial-grid"`` / ``"batch-grid"`` — the same pinned
+      12-defense grid (:func:`grid_defenses`) on ``workload``, run
+      point-by-point on the fast engine vs. through the NumPy batch
+      tier (:func:`repro.sim.batch.simulate_batch`); ``cycles`` sums
+      the simulated cycles of every lane, so the two rows' ratio *is*
+      the batch-tier speedup (``batch-grid`` is skipped when NumPy is
+      unavailable).  ``tracker``/``scheme`` are the markers
+      ``"mixed"``/``"grid"`` — grid rows have no single defense, and
+      :meth:`defense` must not be called for them.
     """
 
     name: str
@@ -98,6 +107,11 @@ class BenchSpec:
 
     def defense(self) -> Optional[DefenseConfig]:
         """The defense configuration this benchmark simulates under."""
+        if self.engine in ("serial-grid", "batch-grid"):
+            raise ValueError(
+                f"{self.name}: grid rows sweep {len(grid_defenses())} "
+                "defenses (grid_defenses()); there is no single defense"
+            )
         if self.tracker == "none" and self.scheme == "no-rp":
             return None
         return DefenseConfig(tracker=self.tracker, scheme=self.scheme)
@@ -116,6 +130,43 @@ KERNEL_RFM_EVERY = 32
 
 #: The sweep-throughput row's pinned grid shape.
 SWEEP_BENCH_REQUESTS = 200
+
+#: Pinned request budget for the serial-vs-batch grid rows.  Large
+#: enough that per-lane simulation dominates the batch tier's replay
+#: overhead (the speedup saturates above ~600 requests/core), small
+#: enough for the CI smoke gate.
+GRID_BENCH_REQUESTS = 600
+
+
+def grid_defenses() -> List[Optional[DefenseConfig]]:
+    """The pinned defense grid the serial/batch grid rows sweep.
+
+    Shaped like the paper's K-sweeps: every tracker appears, several at
+    two provisioning thresholds (a threshold change alters tracker
+    state, not timing, so the lanes share a recorded timeline — exactly
+    the redundancy the batch tier amortizes).  PARA rides along too:
+    its probabilistic mitigations defeat replay and force the per-lane
+    fallback path, so the rows measure the tier as real sweeps hit it,
+    not a best case.
+    """
+    return [
+        None,
+        DefenseConfig(tracker="graphene", scheme="no-rp"),
+        DefenseConfig(tracker="graphene", scheme="no-rp", trh=2000.0),
+        DefenseConfig(tracker="graphene", scheme="impress-n"),
+        DefenseConfig(tracker="graphene", scheme="impress-p"),
+        DefenseConfig(tracker="graphene", scheme="impress-p", trh=2000.0),
+        DefenseConfig(tracker="prac", scheme="no-rp"),
+        DefenseConfig(tracker="prac", scheme="no-rp", trh=2000.0),
+        DefenseConfig(tracker="prac", scheme="impress-p"),
+        DefenseConfig(tracker="dsac", scheme="no-rp"),
+        DefenseConfig(tracker="dsac", scheme="no-rp", trh=2000.0),
+        DefenseConfig(tracker="para", scheme="no-rp"),
+        DefenseConfig(tracker="mint", scheme="no-rp"),
+        DefenseConfig(tracker="mint", scheme="impress-p"),
+        DefenseConfig(tracker="mithril", scheme="no-rp"),
+        DefenseConfig(tracker="mithril", scheme="impress-p"),
+    ]
 
 #: The canonical benchmark set: the acceptance pair (fast + reference on
 #: the single-core config), one benchmark per workload class, one
@@ -140,6 +191,10 @@ CANONICAL_BENCHMARKS: Sequence[BenchSpec] = (
     BenchSpec("tracker_mint", "mcf", tracker="mint", scheme="impress-n"),
     BenchSpec("tracker_prac", "mcf", tracker="prac", scheme="impress-p"),
     BenchSpec("tracker_dsac", "mcf", tracker="dsac", scheme="no-rp"),
+    BenchSpec("tracker_grid_serial", "mcf", tracker="mixed", scheme="grid",
+              engine="serial-grid", fixed_requests=GRID_BENCH_REQUESTS),
+    BenchSpec("tracker_grid_batch", "mcf", tracker="mixed", scheme="grid",
+              engine="batch-grid", fixed_requests=GRID_BENCH_REQUESTS),
     BenchSpec("ukernel_graphene", "synthetic", tracker="graphene",
               scheme="kernel", n_cores=1, engine="tracker-kernel"),
     BenchSpec("ukernel_para", "synthetic", tracker="para",
@@ -219,6 +274,20 @@ class BenchReport:
             return None
         return fast.cycles_per_sec / reference.cycles_per_sec
 
+    def batch_speedup(self) -> Optional[float]:
+        """Batch-tier over per-point throughput on the pinned grid pair.
+
+        Both rows run in the same process on the same machine, so the
+        ratio is calibration-normalized by construction.  None when
+        either row is absent (e.g. NumPy missing skipped the batch leg).
+        """
+        by_name = {result.spec.name: result for result in self.results}
+        batch = by_name.get("tracker_grid_batch")
+        serial = by_name.get("tracker_grid_serial")
+        if batch is None or serial is None or not serial.cycles_per_sec:
+            return None
+        return batch.cycles_per_sec / serial.cycles_per_sec
+
     def to_json(self) -> Dict:
         """Serialize the run to the ``BENCH_<n>.json`` artifact shape."""
         return {
@@ -230,6 +299,7 @@ class BenchReport:
             "machine": machine_metadata(),
             "calibration_ops_per_sec": self.calibration_ops_per_sec,
             "speedup_vs_reference": self.speedup_vs_reference(),
+            "batch_grid_speedup": self.batch_speedup(),
             "sweep_cache": self.sweep_cache,
             "trace_cache": self.trace_cache,
             "benchmarks": [result.to_json() for result in self.results],
@@ -318,6 +388,19 @@ def _simulation_pass(spec: BenchSpec, n_requests: int):
         def timed_pass() -> int:
             return ReferenceSimulator(system, traces, defense).run(
             ).elapsed_cycles
+    elif spec.engine == "batch":
+        # A single point degenerates to one fast run inside the batch
+        # tier; this row exists to time the plumbing, not to show wins
+        # (those are the batch-grid rows).
+        from .sim.batch import simulate_batch
+
+        points = [(spec.workload, defense, None)]
+
+        def timed_pass() -> int:
+            return simulate_batch(
+                points, system=system, n_requests_per_core=n_requests,
+                seed=0,
+            )[0].elapsed_cycles
     else:
         def timed_pass() -> int:
             return SystemSimulator(
@@ -523,14 +606,74 @@ def _distributed_sweep_pass(spec: BenchSpec, n_requests: int):
     return timed_pass
 
 
+def _serial_grid_pass(spec: BenchSpec, n_requests: int):
+    """Timed-pass closure for the per-point leg of the grid pair.
+
+    Runs the pinned :func:`grid_defenses` sweep one fast-engine
+    simulation per lane — the way a sweep executed before the batch
+    tier existed.  Trace compilation is warmed outside the timed
+    region, same as the other simulation rows.
+    """
+    from .sim.system import simulate_workload
+
+    system = spec.system()
+    compiled_rate_mode_traces(
+        spec.workload, system.n_cores, n_requests, 0, system.mapper()
+    )
+    defenses = grid_defenses()
+
+    def timed_pass() -> int:
+        total = 0
+        for defense in defenses:
+            total += simulate_workload(
+                spec.workload, defense, system=system,
+                n_requests_per_core=n_requests,
+            ).elapsed_cycles
+        return total
+
+    return timed_pass
+
+
+def _batch_grid_pass(spec: BenchSpec, n_requests: int):
+    """Timed-pass closure for the batch-tier leg of the grid pair.
+
+    The identical grid through :func:`repro.sim.batch.simulate_batch`;
+    the ratio against ``tracker_grid_serial`` is the tier's speedup on
+    an honest defense mix (PARA forces one fallback lane).  Raises
+    ImportError when NumPy is missing — ``run_benchmarks`` skips the
+    row with a note.
+    """
+    from .sim.batch import simulate_batch
+
+    system = spec.system()
+    compiled_rate_mode_traces(
+        spec.workload, system.n_cores, n_requests, 0, system.mapper()
+    )
+    points = [(spec.workload, defense, None) for defense in grid_defenses()]
+
+    def timed_pass() -> int:
+        return sum(
+            result.elapsed_cycles
+            for result in simulate_batch(
+                points, system=system, n_requests_per_core=n_requests,
+                seed=0,
+            )
+        )
+
+    return timed_pass
+
+
 _ENGINE_PASSES = {
     "fast": _simulation_pass,
     "reference": _simulation_pass,
+    "batch": _simulation_pass,
     "tracker-kernel": _tracker_kernel_pass,
     "sweep": _sweep_pass,
     "scenario": _scenario_pass,
     "scenario-invariants": _scenario_invariants_pass,
     "distributed-sweep": _distributed_sweep_pass,
+    "serial-grid": _serial_grid_pass,
+    "batch-grid": _batch_grid_pass,
 }
 
 
@@ -600,7 +743,15 @@ def run_benchmarks(
     calibration = calibrate()
     results: List[BenchResult] = []
     for spec in specs:
-        result = run_one(spec, n_requests, repeats)
+        try:
+            result = run_one(spec, n_requests, repeats)
+        except ImportError as error:
+            # The batch-grid row needs NumPy; without it the row is
+            # skipped (never silently zeroed) and the pure-Python rows
+            # still produce a complete artifact.
+            if progress is not None:
+                progress(f"  {spec.name:<24} skipped: {error}")
+            continue
         results.append(result)
         if progress is not None:
             progress(
@@ -737,6 +888,17 @@ def compare_to_previous(
         if row is None or not row.get("cycles_per_sec"):
             lines.append(f"  {result.spec.name:<24} (new benchmark)")
             continue
+        if row.get("engine", result.spec.engine) != result.spec.engine:
+            # A name measured on a different engine tier (e.g. a
+            # --engine override) is a different quantity: never ratio
+            # across tiers.  Legacy artifacts without the field are
+            # assumed to match the spec's engine.
+            lines.append(
+                f"  {result.spec.name:<24} (engine changed: "
+                f"{row.get('engine')} -> {result.spec.engine}; "
+                f"not comparable)"
+            )
+            continue
         if (
             row.get("n_requests") != result.n_requests
             or row.get("n_cores") != result.spec.n_cores
@@ -760,6 +922,25 @@ def compare_to_previous(
 # -- CLI ------------------------------------------------------------------
 
 
+def engine_override_specs(engine: str) -> List[BenchSpec]:
+    """The canonical set with the ``fast`` simulation rows remapped.
+
+    ``repro bench --engine reference|batch`` re-times the plain
+    simulation rows on another tier under the same names; the ``engine``
+    field in each row (and the guard in :func:`compare_to_previous` /
+    ``tools/bench_compare.py``) keeps the results from ever being
+    ratioed against fast-engine baselines.  Non-``fast`` rows
+    (microbenches, sweep/scenario/grid rows) are left untouched.
+    """
+    import dataclasses
+
+    return [
+        dataclasses.replace(spec, engine=engine)
+        if spec.engine == "fast" else spec
+        for spec in CANONICAL_BENCHMARKS
+    ]
+
+
 def run_bench_command(
     quick: bool = False,
     repeats: Optional[int] = None,
@@ -767,6 +948,7 @@ def run_bench_command(
     out_dir: Path = DEFAULT_OUT_DIR,
     write: bool = True,
     compare_to: Optional[Path] = None,
+    engine: str = "fast",
     progress=print,
 ) -> int:
     """Drive a full ``repro bench`` invocation; returns an exit code."""
@@ -779,14 +961,23 @@ def run_bench_command(
         baseline = compare_to
     else:
         baseline = latest_artifact(out_dir)
+    specs = (
+        engine_override_specs(engine) if engine != "fast" else None
+    )
     report = run_benchmarks(
-        quick=quick, repeats=repeats, n_requests=n_requests, progress=progress
+        quick=quick, repeats=repeats, n_requests=n_requests, specs=specs,
+        progress=progress,
     )
     speedup = report.speedup_vs_reference()
     if speedup is not None:
         progress(
             f"engine speedup vs reference (canonical single-core): "
             f"{speedup:.2f}x"
+        )
+    batch_speedup = report.batch_speedup()
+    if batch_speedup is not None:
+        progress(
+            f"batch tier speedup on the defense grid: {batch_speedup:.2f}x"
         )
     cache = report.sweep_cache
     progress(
@@ -834,6 +1025,12 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
              "(default: latest in --out-dir)",
     )
     parser.add_argument(
+        "--engine", choices=("fast", "reference", "batch"), default="fast",
+        help="re-time the plain simulation rows on another engine tier "
+             "(rows keep their names; the recorded engine field stops "
+             "cross-tier ratio comparisons)",
+    )
+    parser.add_argument(
         "--profile", default=None, metavar="ROW",
         help="run one benchmark row under cProfile and print the "
              "hottest functions instead of benchmarking",
@@ -860,6 +1057,7 @@ def command_from_args(args: argparse.Namespace) -> int:
         out_dir=Path(args.out_dir),
         write=not args.no_write,
         compare_to=Path(args.compare_to) if args.compare_to else None,
+        engine=args.engine,
     )
 
 

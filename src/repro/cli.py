@@ -61,7 +61,7 @@ from .core.analysis import impress_n_effective_threshold
 from .dram.timing import default_cycle_timings
 from .security.verifier import effective_threshold
 from .sim.config import DefenseConfig, SCHEME_NAMES, TRACKER_NAMES
-from .sim.system import simulate_workload
+from .sim.system import ENGINE_NAMES, simulate_workload
 from .trackers.para import para_probability
 from .trackers.sizing import graphene_entries, graphene_storage, mithril_entries
 
@@ -199,7 +199,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         alpha=args.alpha,
     )
     result = simulate_workload(
-        args.workload, defense, n_requests_per_core=args.requests
+        args.workload, defense, n_requests_per_core=args.requests,
+        engine=args.engine,
     )
     print(f"{args.workload} + {args.tracker}/{args.scheme}: "
           f"{result.elapsed_cycles} cycles, hit rate {result.hit_rate:.3f}")
@@ -768,6 +769,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trh", type=float, default=4000.0)
     simulate.add_argument("--alpha", type=float, default=1.0)
     simulate.add_argument("--requests", type=int, default=1000)
+    simulate.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="fast",
+        help="engine tier: the pinned reference loop, the fast event "
+             "engine (default), or the NumPy batch tier (a single "
+             "point degenerates to one fast run; requires numpy; "
+             "scenario presets always use the fast engine)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     scenario = sub.add_parser(

@@ -7,6 +7,7 @@ from .config import (
     DefenseConfig,
     SystemConfig,
 )
+from .batch import BatchStats, batch_available, simulate_batch
 from .core import CoreState
 from .metrics import (
     geomean,
@@ -16,9 +17,13 @@ from .metrics import (
 )
 from .reference import ReferenceSimulator
 from .stats import EnergyBreakdown, SimResult, energy_of
-from .system import SystemSimulator, simulate_workload
+from .system import ENGINE_NAMES, SystemSimulator, simulate_workload
 
 __all__ = [
+    "ENGINE_NAMES",
+    "BatchStats",
+    "batch_available",
+    "simulate_batch",
     "DEFAULT_EXPRESS_TMRO_NS",
     "SCHEME_NAMES",
     "TRACKER_NAMES",

@@ -424,6 +424,10 @@ class SystemSimulator:
         )
 
 
+#: Engine tiers :func:`simulate_workload` dispatches between.
+ENGINE_NAMES = ("reference", "fast", "batch")
+
+
 def simulate_workload(
     name,
     defense: Optional[DefenseConfig] = None,
@@ -431,6 +435,7 @@ def simulate_workload(
     n_requests_per_core: int = 2000,
     tmro_ns: Optional[float] = None,
     seed: int = 0,
+    engine: str = "fast",
 ) -> SimResult:
     """Convenience wrapper: one run of a workload against a defense.
 
@@ -442,23 +447,45 @@ def simulate_workload(
     :class:`~repro.experiments.common.SweepRunner` run cache directly;
     consecutive calls with the same recipe (a defense sweep) share one
     compiled trace set.
+
+    ``engine`` selects the tier: ``"fast"`` (default, the oracle-pinned
+    event engine), ``"reference"`` (the preserved original loop), or
+    ``"batch"`` (the NumPy batch tier — a single point degenerates to
+    one fast-engine run, so this mainly validates the plumbing; batch
+    wins come from :func:`repro.sim.batch.simulate_batch` over grids).
+    All three produce bit-identical results; ``"batch"`` raises
+    ImportError when NumPy is unavailable — fall back to ``"fast"``.
     """
-    from ..workloads.compiled import (
-        compiled_rate_mode_traces,
-        compiled_source_traces,
-    )
+    from ..workloads.compiled import compiled_point_traces
 
     system = system or SystemConfig()
-    if isinstance(name, str):
-        compiled = compiled_rate_mode_traces(
-            name, system.n_cores, n_requests_per_core, seed, system.mapper()
+    if engine not in ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose one of {ENGINE_NAMES}"
         )
-    else:
-        sources = tuple(name)
-        system.validate_sources(sources)
-        compiled = compiled_source_traces(
-            sources, n_requests_per_core, seed, system.mapper()
-        )
+    if engine == "batch":
+        from .batch import simulate_batch
+
+        return simulate_batch(
+            [(name, defense, tmro_ns)],
+            system=system,
+            n_requests_per_core=n_requests_per_core,
+            seed=seed,
+        )[0]
+    if not isinstance(name, str):
+        system.validate_sources(tuple(name))
+    compiled = compiled_point_traces(
+        name, system.n_cores, n_requests_per_core, seed, system.mapper()
+    )
+    if engine == "reference":
+        from .reference import ReferenceSimulator
+
+        return ReferenceSimulator(
+            system,
+            [entry.trace for entry in compiled],
+            defense,
+            tmro_ns=tmro_ns,
+        ).run()
     simulator = SystemSimulator(
         system, defense=defense, tmro_ns=tmro_ns, compiled=compiled
     )

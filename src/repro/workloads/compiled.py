@@ -182,6 +182,32 @@ def compiled_source_traces(
     return compiled
 
 
+def compiled_point_traces(
+    workload,
+    n_cores: int,
+    n_requests_per_core: int,
+    seed: int,
+    mapper: MopAddressMapper,
+) -> List[CompiledTrace]:
+    """Dispatch a sweep-point workload key to the matching cache.
+
+    ``workload`` is either a rate-mode name (string) or a heterogeneous
+    per-core source tuple — the two forms a sweep-point triple may
+    carry.  Every engine tier (reference, fast, batch) resolves its
+    traces through this one entry point, so a defense sweep shares a
+    single compiled set per workload no matter which tier runs it.
+    Callers validate source tuples against their topology first
+    (``SystemConfig.validate_sources``); this function only compiles.
+    """
+    if isinstance(workload, str):
+        return compiled_rate_mode_traces(
+            workload, n_cores, n_requests_per_core, seed, mapper
+        )
+    return compiled_source_traces(
+        tuple(workload), n_requests_per_core, seed, mapper
+    )
+
+
 def compiled_cache_stats() -> CacheStats:
     """Current hit/miss/size counters of the compiled-trace cache."""
     return CacheStats(

@@ -1,0 +1,321 @@
+"""Batch engine tier pinned bit-identical against the fast-engine oracle.
+
+Extends the PR 2–3 reference-vs-fast equivalence matrix one tier up:
+:func:`repro.sim.batch.simulate_batch` must return exactly the
+:class:`SimResult` the fast engine produces for every lane — whether the
+lane was the recorded leader, a vectorized replay, a scalar replay, or
+a divergence fallback.  Also pins the NumPy MT19937 transplant PARA's
+vector replay depends on, the ``run_many`` batch routing's blob
+identity, and the graceful degradation when NumPy is missing.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.experiments.common import SweepRunner
+from repro.sim import simulate_workload
+from repro.sim.batch import (
+    BatchStats,
+    _Recorder,
+    batch_available,
+    simulate_batch,
+)
+from repro.sim.config import DefenseConfig, SystemConfig
+from repro.sim.system import SystemSimulator
+from repro.trackers.batch_kernels import (
+    numpy_rng_from,
+    replay_lane_python,
+    replay_lane_vector,
+)
+from repro.workloads.compiled import compiled_rate_mode_traces
+
+from test_engine_equivalence import DEFENSES, _defense_id, _fuzzed_specs
+
+REQUESTS = 150
+SMALL = SystemConfig(n_cores=2, banks_per_channel=8)
+
+
+def result_blob(result) -> bytes:
+    """Canonical serialized form — what the result store would persist."""
+    return json.dumps(result.to_json(), sort_keys=True).encode()
+
+
+def assert_batch_matches_fast(points, system, n_requests, seed,
+                              stats=None):
+    """One batched run vs one fast-engine run per point, bit-identical."""
+    batched = simulate_batch(
+        points, system=system, n_requests_per_core=n_requests, seed=seed,
+        stats=stats,
+    )
+    for point, result in zip(points, batched):
+        workload, defense, tmro_ns = (
+            point.sweep_point() if hasattr(point, "sweep_point") else point
+        )
+        oracle = simulate_workload(
+            workload, defense, system=system,
+            n_requests_per_core=n_requests, tmro_ns=tmro_ns, seed=seed,
+        )
+        assert result_blob(result) == result_blob(oracle), (
+            f"batch diverged from fast engine on {point!r}"
+        )
+
+
+class TestBatchVsFastMatrix:
+    """The full workload × defense equivalence matrix, batched at once."""
+
+    @pytest.mark.parametrize("workload", ["mcf", "copy", "add_copy"])
+    def test_workload_defense_matrix(self, workload):
+        stats = BatchStats()
+        points = [(workload, defense, None) for defense in DEFENSES]
+        assert_batch_matches_fast(points, SMALL, REQUESTS, 7, stats=stats)
+        # The matrix must actually exercise the replay path, not just
+        # degenerate to per-lane fast runs.
+        assert stats.replayed > 0
+        assert stats.leaders >= 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeds(self, seed):
+        points = [
+            ("mcf", None, None),
+            ("mcf", DefenseConfig(tracker="graphene", scheme="impress-p"),
+             None),
+            ("mcf", DefenseConfig(tracker="mint", scheme="impress-p",
+                                  trh=1600, rfmth=20), None),
+        ]
+        assert_batch_matches_fast(points, SMALL, REQUESTS, seed)
+
+    def test_multi_channel_topology(self):
+        system = SystemConfig(n_cores=2, channels=2, banks_per_channel=8)
+        points = [
+            ("add", None, None),
+            ("add", DefenseConfig(tracker="graphene", scheme="impress-p"),
+             None),
+            ("add", DefenseConfig(tracker="prac", scheme="no-rp", trh=150),
+             None),
+            ("add", DefenseConfig(tracker="mithril", scheme="no-rp",
+                                  rfmth=20), None),
+            ("add", DefenseConfig(tracker="mint", scheme="no-rp",
+                                  rfmth=20), None),
+        ]
+        stats = BatchStats()
+        assert_batch_matches_fast(points, system, REQUESTS, 2, stats=stats)
+        assert stats.replayed > 0
+
+    def test_tmro_groups_split_from_default(self):
+        # A tMRO override changes the timing signature, so these lanes
+        # must not share a leader with the default-timing lanes.
+        points = [
+            ("copy", None, None),
+            ("copy", None, 66.0),
+            ("copy", DefenseConfig(tracker="graphene", scheme="no-rp"),
+             66.0),
+        ]
+        stats = BatchStats()
+        assert_batch_matches_fast(points, SMALL, REQUESTS, 4, stats=stats)
+        assert stats.groups == 1          # the two tmro=66 lanes
+        assert stats.singletons == 1      # the default-timing lane
+
+    def test_duplicate_points_deduplicated(self):
+        points = [("mcf", None, None)] * 3 + [
+            ("mcf", DefenseConfig(tracker="graphene", scheme="no-rp"), None)
+        ] * 2
+        stats = BatchStats()
+        results = simulate_batch(
+            points, system=SMALL, n_requests_per_core=60, seed=0,
+            stats=stats,
+        )
+        assert stats.points == 5
+        assert stats.leaders == 1 and stats.replayed == 1
+        assert result_blob(results[0]) == result_blob(results[1])
+        assert result_blob(results[3]) == result_blob(results[4])
+
+    def test_results_are_independent_copies(self):
+        points = [
+            ("mcf", None, None),
+            ("mcf", DefenseConfig(tracker="graphene", scheme="no-rp"), None),
+        ]
+        leader, follower = simulate_batch(
+            points, system=SMALL, n_requests_per_core=60, seed=0
+        )
+        follower.counts.reads += 1
+        follower.core_cycles[0] += 1
+        assert leader.counts.reads != follower.counts.reads
+        assert leader.core_cycles[0] != follower.core_cycles[0]
+
+
+class TestFuzzedScenariosBatched:
+    """The 8 pinned fuzzer scenarios from PR 6, each batched with a
+    no-defense sibling lane on its own topology."""
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_fuzzed_scenario(self, index):
+        spec = _fuzzed_specs()[index]
+        workload, _defense, tmro_ns = spec.sweep_point()
+        points = [spec, (workload, None, tmro_ns)]
+        assert_batch_matches_fast(points, spec.system, REQUESTS, 0)
+
+
+class TestRunManyRouting:
+    """``run_many`` batch routing is invisible: same blobs, same cache."""
+
+    GRID = [
+        ("mcf", None, None),
+        ("mcf", DefenseConfig(tracker="graphene", scheme="impress-p"), None),
+        ("mcf", DefenseConfig(tracker="para", scheme="no-rp", trh=200.0),
+         None),
+        ("add", None, None),
+        ("add", DefenseConfig(tracker="mint", scheme="no-rp", rfmth=20),
+         None),
+        ("copy", None, 96.0),
+        ("mcf", None, None),                      # duplicate
+    ]
+
+    def test_blob_identity_vs_serial(self):
+        batched = SweepRunner(system=SMALL, n_requests=60, seed=3)
+        serial = SweepRunner(system=SMALL, n_requests=60, seed=3,
+                             use_batch=False)
+        assert batched.use_batch and batch_available()
+        blobs_batched = [
+            result_blob(r) for r in batched.run_many(self.GRID)
+        ]
+        blobs_serial = [
+            result_blob(r) for r in serial.run_many(self.GRID)
+        ]
+        assert blobs_batched == blobs_serial
+        # Identical cache accounting: the duplicate is computed once.
+        assert batched.cache_stats() == serial.cache_stats()
+
+    def test_single_point_stays_unbatched(self):
+        runner = SweepRunner(system=SMALL, n_requests=60)
+        [result] = runner.run_many([("mcf", None, None)])
+        assert result_blob(result) == result_blob(
+            simulate_workload("mcf", system=SMALL, n_requests_per_core=60)
+        )
+
+
+def _recorded_timeline(workload="mcf", defense=None, n_requests=150,
+                       system=SMALL, seed=7):
+    """A leader run with recording shims, for replay-internal tests."""
+    compiled = compiled_rate_mode_traces(
+        workload, system.n_cores, n_requests, seed, system.mapper()
+    )
+    simulator = SystemSimulator(system, defense=defense, compiled=compiled)
+    recorder = _Recorder(simulator)
+    result = simulator.run()
+    assert not recorder.fired
+    return recorder, result, system
+
+
+class TestReplayInternals:
+    def test_para_numpy_rng_transplant(self):
+        rng = random.Random(123)
+        expected = [rng.random() for _ in range(64)]
+        rng = random.Random(123)
+        transplanted = numpy_rng_from(rng)
+        assert list(transplanted.random_sample(64)) == expected
+
+    def test_vector_agrees_with_python_replay(self):
+        recorder, _result, system = _recorded_timeline()
+        timeline = recorder.timeline(
+            system.banks_per_channel, system.timings
+        )
+        for defense in DEFENSES:
+            if defense is None or defense.uses_rfm:
+                continue  # RFM lanes live in a separate timing group
+            verdict, rfm = replay_lane_vector(defense, timeline)
+            valid, py_rfm = replay_lane_python(
+                defense, system.timings, system.banks_per_channel,
+                system.channels, recorder.logs,
+            )
+            if verdict == "valid":
+                assert valid and rfm == py_rfm == 0, _defense_id(defense)
+
+    def test_rfm_counts_match_python_replay(self):
+        defense = DefenseConfig(tracker="mint", scheme="no-rp", rfmth=20)
+        recorder, _result, system = _recorded_timeline(defense=defense)
+        timeline = recorder.timeline(
+            system.banks_per_channel, system.timings
+        )
+        for follower in (
+            defense,
+            DefenseConfig(tracker="mithril", scheme="no-rp", rfmth=20),
+        ):
+            verdict, rfm = replay_lane_vector(follower, timeline)
+            valid, py_rfm = replay_lane_python(
+                follower, system.timings, system.banks_per_channel,
+                system.channels, recorder.logs,
+            )
+            assert verdict == "valid" and valid
+            assert rfm == py_rfm, _defense_id(follower)
+
+    def test_leader_recording_does_not_change_result(self):
+        _recorder, recorded, system = _recorded_timeline()
+        plain = simulate_workload(
+            "mcf", system=system, n_requests_per_core=150, seed=7
+        )
+        assert result_blob(recorded) == result_blob(plain)
+
+
+class TestEngineSelection:
+    def test_engine_values_agree(self):
+        kwargs = dict(system=SMALL, n_requests_per_core=60, seed=0)
+        defense = DefenseConfig(tracker="graphene", scheme="impress-p")
+        fast = simulate_workload("mcf", defense, engine="fast", **kwargs)
+        reference = simulate_workload(
+            "mcf", defense, engine="reference", **kwargs
+        )
+        batch = simulate_workload("mcf", defense, engine="batch", **kwargs)
+        assert result_blob(fast) == result_blob(reference)
+        assert result_blob(fast) == result_blob(batch)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate_workload("mcf", engine="warp", system=SMALL,
+                              n_requests_per_core=20)
+
+
+class TestNumpyFallback:
+    """Without NumPy the tier reports unavailable and callers degrade."""
+
+    def test_unavailable_paths(self, monkeypatch):
+        import repro.trackers.batch_kernels as bk
+
+        monkeypatch.setattr(bk, "np", None)
+        assert not batch_available()
+        with pytest.raises(ImportError, match="pip install numpy"):
+            simulate_batch([("mcf", None, None)], system=SMALL,
+                           n_requests_per_core=20)
+        with pytest.raises(ImportError, match="pip install numpy"):
+            simulate_workload("mcf", engine="batch", system=SMALL,
+                              n_requests_per_core=20)
+        # run_many silently falls back to per-point fast runs.
+        runner = SweepRunner(system=SMALL, n_requests=20)
+        results = runner.run_many(
+            [("mcf", None, None),
+             ("mcf", DefenseConfig(tracker="graphene", scheme="no-rp"),
+              None)]
+        )
+        assert len(results) == 2
+
+
+class TestStatsAccounting:
+    def test_partition_adds_up(self):
+        stats = BatchStats()
+        points = [("mcf", defense, None) for defense in DEFENSES]
+        results = simulate_batch(
+            points, system=SMALL, n_requests_per_core=60, seed=0,
+            stats=stats,
+        )
+        assert len(results) == len(points)
+        assert stats.points == len(points)
+        unique = len({(w, d, t) for w, d, t in points})
+        assert (
+            stats.leaders + stats.replayed + stats.fallbacks
+            + stats.singletons == unique
+        )
+        assert stats.vector_replays >= stats.replayed

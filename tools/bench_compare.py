@@ -9,8 +9,9 @@ Usage (the CI perf-smoke gate):
 Each argument is a ``BENCH_<n>.json`` file or a directory holding them
 (the newest artifact is picked; directories prefer the newest artifact
 whose quick/full mode matches the other side).  Benchmarks are matched
-by name, and only rows with identical ``n_requests`` and ``n_cores`` are
-compared — throughput is not comparable across different run shapes.
+by name, and only rows with identical ``n_requests``, ``n_cores`` and
+``engine`` are compared — throughput is not comparable across different
+run shapes or engine tiers.
 
 Trajectory mode prints the whole committed sequence instead of one
 pairwise gate — each row's normalized throughput from its first
@@ -112,11 +113,8 @@ def compare(
         if base is None:
             print(f"  {name:<24} (no baseline row; skipped)")
             continue
-        if (
-            base.get("n_requests") != cur.get("n_requests")
-            or base.get("n_cores") != cur.get("n_cores")
-        ):
-            print(f"  {name:<24} (run shape changed; skipped)")
+        if _shape(base) != _shape(cur):
+            print(f"  {name:<24} (run shape or engine changed; skipped)")
             continue
         compared += 1
         ratio = cur["normalized"] / base["normalized"]
@@ -151,7 +149,14 @@ def collect(spec: str) -> List[Path]:
 
 
 def _shape(row: Dict) -> tuple:
-    return (row.get("n_requests"), row.get("n_cores"))
+    """What must match for two same-named rows to be ratio-comparable.
+
+    ``engine`` is part of the shape: a row re-timed on another engine
+    tier (``repro bench --engine``, or the serial-vs-batch grid pair)
+    measures a different quantity, so ratios across tiers are never
+    printed as progress or regression.
+    """
+    return (row.get("n_requests"), row.get("n_cores"), row.get("engine"))
 
 
 def trajectory(specs: List[str], normalize: bool) -> int:
@@ -160,8 +165,9 @@ def trajectory(specs: List[str], normalize: bool) -> int:
     Rows are matched by name; each row's first appearance is its
     baseline column (absolute normalized throughput) and every later
     artifact shows the calibration-normalized ratio against it.  Cells
-    whose run shape differs from the baseline print ``shape`` instead
-    of a misleading ratio; artifacts without the row print ``—``.
+    whose run shape or engine differs from the baseline print ``shape``
+    instead of a misleading ratio; artifacts without the row print
+    ``—``.
     """
     paths: List[Path] = []
     for spec in specs:

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI smoke: one batched sweep grid must be bit-identical to the fast engine.
+
+Runs a small mixed-tracker grid twice — once through
+``repro.sim.batch.simulate_batch`` (the NumPy leader/replay tier) and
+once per-point through ``simulate_workload`` (the fast engine oracle) —
+and asserts every lane's canonical JSON blob is byte-identical.  Also
+asserts the batch run actually exercised the replay path (``replayed >
+0``), so a silent degradation to per-lane full simulations cannot pass
+as equivalence.
+
+Exit codes: 0 identical (or NumPy missing — the tier is optional, so
+the smoke degrades to a skip), 1 any lane diverged.
+
+Usage (the CI perf-smoke equivalence gate):
+
+    PYTHONPATH=src python tools/equivalence_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def result_blob(result) -> bytes:
+    return json.dumps(result.to_json(), sort_keys=True).encode()
+
+
+def main() -> int:
+    from repro.sim.batch import BatchStats, batch_available, simulate_batch
+    from repro.sim.config import DefenseConfig, SystemConfig
+    from repro.sim.system import simulate_workload
+
+    if not batch_available():
+        print("equivalence-smoke: numpy unavailable; batch tier "
+              "disabled, nothing to check (skip)")
+        return 0
+
+    system = SystemConfig(n_cores=2, banks_per_channel=8)
+    requests = 120
+    seed = 11
+    points = [
+        ("mcf", None, None),
+        ("mcf", DefenseConfig(tracker="graphene", scheme="no-rp"), None),
+        ("mcf", DefenseConfig(tracker="graphene", scheme="impress-p"), None),
+        ("mcf", DefenseConfig(tracker="prac", scheme="no-rp", trh=150), None),
+        ("mcf", DefenseConfig(tracker="dsac", scheme="no-rp"), None),
+        ("mcf", DefenseConfig(tracker="para", scheme="no-rp", trh=200.0),
+         None),
+        ("mcf", DefenseConfig(tracker="mint", scheme="no-rp", rfmth=20),
+         None),
+        ("mcf", DefenseConfig(tracker="mithril", scheme="no-rp", rfmth=20),
+         None),
+        ("copy", None, 66.0),
+        ("copy", DefenseConfig(tracker="graphene", scheme="no-rp"), 66.0),
+    ]
+
+    stats = BatchStats()
+    batched = simulate_batch(
+        points, system=system, n_requests_per_core=requests, seed=seed,
+        stats=stats,
+    )
+
+    mismatches = 0
+    for (workload, defense, tmro_ns), result in zip(points, batched):
+        oracle = simulate_workload(
+            workload, defense, system=system,
+            n_requests_per_core=requests, tmro_ns=tmro_ns, seed=seed,
+        )
+        label = (
+            f"{workload}/"
+            f"{defense.tracker + ':' + defense.scheme if defense else 'none'}"
+            f"{'/tmro=' + str(tmro_ns) if tmro_ns else ''}"
+        )
+        if result_blob(result) == result_blob(oracle):
+            print(f"  {label:<40} identical")
+        else:
+            print(f"  {label:<40} DIVERGED")
+            mismatches += 1
+
+    print(
+        f"equivalence-smoke: {len(points)} lanes -> "
+        f"{stats.leaders} leaders, {stats.replayed} replayed "
+        f"({stats.vector_replays} vector / {stats.python_replays} python), "
+        f"{stats.fallbacks} fallbacks, {stats.singletons} singletons"
+    )
+    if mismatches:
+        print(f"FAIL: {mismatches} lane(s) diverged from the fast engine")
+        return 1
+    if stats.replayed == 0:
+        print("FAIL: no lane took the replay path; the smoke proved nothing")
+        return 1
+    print("OK: batch engine bit-identical to the fast engine")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
