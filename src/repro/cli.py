@@ -46,6 +46,12 @@ Commands:
   Retry-After shedding, graceful SIGTERM drain (see docs/serving.md).
 * ``request`` — submit one scenario request to a running daemon with
   deadline/retry/backoff semantics and idempotent resubmission.
+* ``check`` — AST-based contract checker: mechanizes the repo's
+  determinism, atomicity, and hot-path invariants (canonical-key
+  hygiene, rename finality, atomic writes, ``__slots__``,
+  allocation-free kernels, seeded RNGs, SimResult parity) with
+  ``--json``/``--rule``/``--changed`` modes and counted inline
+  suppressions (see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -180,6 +186,12 @@ def _cmd_size(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import command_from_args
+
+    return command_from_args(args)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .staticcheck.cli import command_from_args
 
     return command_from_args(args)
 
@@ -750,6 +762,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_bench_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    from .staticcheck.cli import add_check_arguments
+
+    check = sub.add_parser(
+        "check",
+        help="AST contract checker: determinism/atomicity/hot-path rules",
+    )
+    add_check_arguments(check)
+    check.set_defaults(func=_cmd_check)
 
     simulate = sub.add_parser(
         "simulate",

@@ -50,7 +50,12 @@ from typing import (
 
 from . import registry
 from .registry import Experiment, RunContext
-from ..results.store import ResultStore, content_key, store_for
+from ..results.store import (
+    ResultStore,
+    atomic_write_text,
+    content_key,
+    store_for,
+)
 
 #: Schema version embedded in artifacts and cache recipes; bump when
 #: the layout changes so stale cache entries are never misread (the
@@ -434,7 +439,7 @@ class Orchestrator:
         for outcome in report.outcomes:
             artifact = outcome.artifact(report.options)
             artifact_path = self.results_dir / f"{outcome.name}.json"
-            artifact_path.write_text(json.dumps(artifact, indent=2))
+            atomic_write_text(artifact_path, json.dumps(artifact, indent=2))
             self._write_cache_entry(outcome, report.options)
         summary = {
             "version": ARTIFACT_VERSION,
@@ -451,7 +456,9 @@ class Orchestrator:
             },
             "comparison": report.comparison_rows(),
         }
-        (self.results_dir / "summary.json").write_text(
-            json.dumps(summary, indent=2)
+        atomic_write_text(
+            self.results_dir / "summary.json", json.dumps(summary, indent=2)
         )
-        (self.results_dir / "REPORT.md").write_text(report.to_markdown())
+        atomic_write_text(
+            self.results_dir / "REPORT.md", report.to_markdown()
+        )

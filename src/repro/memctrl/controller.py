@@ -83,6 +83,15 @@ class BankBookkeeping:
 class ChannelController:
     """Memory controller for one channel."""
 
+    __slots__ = (
+        "timings", "num_banks", "scheme", "use_rfm", "rfmth",
+        "tmro_cycles", "mop_burst_lines", "idle_close_cycles", "banks",
+        "refresh", "state", "counts", "core_demand_acts", "row_hits",
+        "row_misses", "row_conflicts", "rfm_mitigations", "tmro_closures",
+        "_act_kernels", "_close_kernels", "_rfm_kernels",
+        "_tPRE", "_tRC", "_tRCD", "_tCCD", "_tCAS", "_tRAS", "_tRFM",
+    )
+
     def __init__(
         self,
         timings: CycleTimings,

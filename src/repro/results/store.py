@@ -203,12 +203,17 @@ _TMP_COUNTER = itertools.count()
 _CRASH_AFTER_TMP_WRITE = None
 
 
-def _atomic_write(path: Path, text: str) -> None:
+def atomic_write_text(path: Path, text: str) -> None:
     """Write via a sibling temp file + rename, so a crash mid-write
     never leaves torn JSON behind (an interrupted index update would
     otherwise read back as an empty index).  The temp name is unique
     per process and call, so concurrent writers cannot race each
-    other's rename."""
+    other's rename.
+
+    This is the blessed durable-write helper the ``atomic-write-only``
+    static rule funnels everything through (``repro check``); callers
+    outside this module use this public name.
+    """
     tmp = path.with_name(
         f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
     )
@@ -216,6 +221,10 @@ def _atomic_write(path: Path, text: str) -> None:
     if _CRASH_AFTER_TMP_WRITE is not None:
         _CRASH_AFTER_TMP_WRITE()
     os.replace(tmp, path)
+
+
+#: Historical private name; the worker and crash tests still bind it.
+_atomic_write = atomic_write_text
 
 
 def _tmp_writer_pid(path: Path) -> Optional[int]:

@@ -70,7 +70,7 @@ def batch_available() -> bool:
     return numpy_available()
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchStats:
     """How a :func:`simulate_batch` call divided its work.
 
@@ -164,6 +164,8 @@ class _Recorder:
     mitigation, which invalidates replay for *all* followers (RFM
     returns are timing-neutral and do not count).
     """
+
+    __slots__ = ("logs", "_fired")
 
     def __init__(self, simulator: SystemSimulator) -> None:
         system = simulator.system

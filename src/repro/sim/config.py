@@ -53,7 +53,7 @@ SCHEME_NAMES = ("no-rp", "express", "impress-n", "impress-p")
 DEFAULT_EXPRESS_TMRO_NS = 36.0 + 48.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SystemConfig:
     """The simulated machine (defaults follow Table II, one channel)."""
 
@@ -112,7 +112,7 @@ class SystemConfig:
                 validate(self.channels, self.banks_per_channel)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DefenseConfig:
     """One (tracker, scheme) configuration of the evaluation."""
 

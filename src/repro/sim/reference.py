@@ -43,6 +43,11 @@ EVENT_DONE = 2
 class ReferenceSimulator:
     """The original event loop, preserved verbatim for equivalence runs."""
 
+    __slots__ = (
+        "system", "defense", "mapper", "controllers", "cores",
+        "_heap", "_seq", "_now", "_started", "_remaining", "_pending_done",
+    )
+
     def __init__(
         self,
         system: SystemConfig,

@@ -64,7 +64,7 @@ _STAT_FIELDS = ("row_hits", "row_misses", "row_conflicts",
                 "rfm_mitigations", "tmro_closures")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControllerSnapshot:
     """Mutable state of one :class:`ChannelController` and its banks."""
 
@@ -78,7 +78,7 @@ class ControllerSnapshot:
     trackers: Tuple[object, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EngineSnapshot:
     """Complete mutable state of a mid-run simulation engine."""
 

@@ -18,7 +18,7 @@ E_REF = 6.0
 E_RFM = 3.0
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyBreakdown:
     """DRAM energy split by source."""
 
@@ -46,7 +46,7 @@ def energy_of(counts: CommandCounts, elapsed_cycles: int) -> EnergyBreakdown:
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class SimResult:
     """Outcome of one system simulation."""
 

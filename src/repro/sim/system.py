@@ -78,6 +78,13 @@ _NO_STOP = 1 << 120
 class SystemSimulator:
     """One simulation run of traces against a defense configuration."""
 
+    __slots__ = (
+        "system", "defense", "mapper", "controllers", "cores",
+        "_compiled", "_heap", "_seq", "_now", "_started", "_remaining",
+        "_pending_done", "_bank_wake", "_service_fns", "_local_banks",
+        "_chan_states",
+    )
+
     def __init__(
         self,
         system: SystemConfig,

@@ -1,0 +1,27 @@
+"""AST-based contract checker: ``repro check`` (see docs/static_analysis.md).
+
+The simulation's headline guarantee — byte-identical results across
+engines, workers, crashes and replays — rests on source-level
+disciplines (canonical-key hygiene, atomic-rename finality, hot-path
+allocation freedom, seeded determinism) that were historically enforced
+by review and bled for twice.  This package mechanizes them: a
+:class:`~repro.staticcheck.engine.Rule` registry (the experiment-
+registry idiom), a per-file parse cache, structured
+:class:`~repro.staticcheck.engine.Finding` output, and counted inline
+suppressions (``# repro: allow[rule-id] reason``).
+"""
+
+from .engine import (  # noqa: F401
+    Finding,
+    Suppression,
+    CheckReport,
+    ParsedFile,
+    Rule,
+    FileRule,
+    all_rules,
+    get_rules,
+    register_rule,
+    run_check,
+    collect_files,
+)
+from . import rules  # noqa: F401  (registers the repo's rule set)

@@ -109,7 +109,7 @@ class Tracker(abc.ABC):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class AccountingTracker(Tracker):
     """A tracker that only records: per-row accumulated (E)ACT weight.
 

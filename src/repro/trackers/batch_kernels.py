@@ -100,6 +100,8 @@ class RecordedTimeline:
     scheme shape reuse one derivation.
     """
 
+    __slots__ = ("banks", "banks_per_channel", "timings", "_derived")
+
     def __init__(self, banks: List[BankEvents],
                  banks_per_channel: int, timings) -> None:
         self.banks = banks

@@ -74,7 +74,7 @@ def mithril_entries(trh: float, rfmth: int = 80) -> int:
     return math.ceil(MITHRIL_SCALE / (trh - base))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StorageEstimate:
     """SRAM cost of one tracker configuration."""
 

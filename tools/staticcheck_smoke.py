@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""CI entry point for the ``repro check`` static contract gate.
+
+Runs the full rule set over ``src/`` + ``tools/`` exactly the way
+``repro check`` does (same argument surface, same engine), prints the
+human summary, and additionally writes the ``--json`` report to a file
+for upload as a CI artifact:
+
+    python tools/staticcheck_smoke.py --report-file staticcheck.json
+
+Exit code 1 on any unsuppressed finding — the static-smoke job gates
+merges on it.  See ``docs/static_analysis.md`` for the rule catalog
+and the suppression policy.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.staticcheck.cli import (  # noqa: E402  (path setup first)
+    build_parser,
+    report_from_args,
+)
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    parser.add_argument(
+        "--report-file", default=None, metavar="PATH",
+        help="also write the JSON report here (the CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    if not args.paths and args.changed is None:
+        # CI parity: the gate always covers the full default scope,
+        # anchored at the repo root regardless of the caller's cwd.
+        args.root = args.root or str(REPO_ROOT)
+    if args.list_rules:
+        from repro.staticcheck.cli import _list_rules
+
+        return _list_rules()
+    try:
+        report = report_from_args(args)
+    except (KeyError, RuntimeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.report_file:
+        Path(args.report_file).write_text(
+            json.dumps(report.to_json(), indent=2)
+        )
+    for line in report.summary_lines():
+        print(line)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
